@@ -1,0 +1,128 @@
+"""Shared parallel helpers for the benchmark fixtures.
+
+The collection-level experiments run one independent pattern search per
+matrix; this fans them out over a process pool (see ``repro.parallel`` for
+the library-level batch-reorder API).  Workers rebuild graphs from packed
+words so only small summaries cross process boundaries.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import VNMPattern, find_best_pattern
+from repro.parallel import default_workers
+
+__all__ = ["SearchOutcome", "search_best_patterns", "success_rates"]
+
+
+@dataclass
+class SearchOutcome:
+    """Result of one best-pattern search, cheap to ship between processes."""
+
+    index: int
+    fastest: tuple[int, int, int] | None
+    fastest_order: np.ndarray | None
+    largest: tuple[int, int, int] | None
+    largest_order: np.ndarray | None
+    attempts: list[tuple[str, bool]]
+
+    def fastest_pattern(self) -> VNMPattern | None:
+        return VNMPattern(*self.fastest) if self.fastest else None
+
+    def largest_pattern(self) -> VNMPattern | None:
+        return VNMPattern(*self.largest) if self.largest else None
+
+
+def _search_job(args) -> SearchOutcome:
+    index, words, n_rows, n_cols, max_iter, budget = args
+    from repro.core.bitmatrix import BitMatrix
+
+    bm = BitMatrix(words, n_rows, n_cols)
+    found = find_best_pattern(
+        bm, max_iter=max_iter, select="fastest", attempt_time_budget=budget
+    )
+    attempts = [(str(p), ok) for p, ok in found.attempts]
+    if not found.succeeded:
+        return SearchOutcome(index, None, None, None, None, attempts)
+    large_pat, large_res = found.candidates[-1]
+    return SearchOutcome(
+        index,
+        (found.pattern.v, found.pattern.n, found.pattern.m),
+        found.result.permutation.order,
+        (large_pat.v, large_pat.n, large_pat.m),
+        large_res.permutation.order,
+        attempts,
+    )
+
+
+def search_best_patterns(
+    matrices,
+    *,
+    max_iter: int = 5,
+    attempt_time_budget: float | None = 20.0,
+    n_workers: int | None = None,
+) -> list[SearchOutcome]:
+    """Run ``find_best_pattern`` over a batch, in parallel processes.
+
+    Each outcome carries both selection policies' picks (fastest /
+    largest-conforming) plus the reordering permutations, so callers rebuild
+    reordered matrices locally instead of shipping them across the pool.
+    """
+    jobs = [
+        (i, bm.words, bm.n_rows, bm.n_cols, max_iter, attempt_time_budget)
+        for i, bm in enumerate(matrices)
+    ]
+    workers = default_workers() if n_workers is None else n_workers
+    if workers <= 1 or len(jobs) <= 1:
+        raw = [_search_job(j) for j in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(_search_job, jobs))
+    return sorted(raw, key=lambda r: r.index)
+
+
+def _success_job(args) -> tuple[int, str, bool]:
+    index, words, n_rows, n_cols, pat, max_iter, budget = args
+    from repro.core import reordering_succeeds
+    from repro.core.bitmatrix import BitMatrix
+
+    bm = BitMatrix(words, n_rows, n_cols)
+    pattern = VNMPattern(*pat)
+    res = reordering_succeeds(bm, pattern, max_iter=max_iter, time_budget=budget)
+    return index, str(pattern), res is not None
+
+
+def success_rates(
+    matrices,
+    patterns,
+    *,
+    max_iter: int = 6,
+    attempt_time_budget: float | None = 20.0,
+    n_workers: int | None = None,
+) -> dict[str, list[bool]]:
+    """For each pattern, whether each matrix can be reordered to conform.
+
+    Returns ``{pattern_str: [ok_per_matrix...]}`` with matrix order preserved.
+    """
+    jobs = []
+    for pi, pat in enumerate(patterns):
+        for mi, bm in enumerate(matrices):
+            jobs.append(
+                (pi * len(matrices) + mi, bm.words, bm.n_rows, bm.n_cols,
+                 (pat.v, pat.n, pat.m), max_iter, attempt_time_budget)
+            )
+    workers = default_workers() if n_workers is None else n_workers
+    if workers <= 1 or len(jobs) <= 1:
+        raw = [_success_job(j) for j in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(_success_job, jobs, chunksize=4))
+    raw.sort(key=lambda r: r[0])
+    out: dict[str, list[bool]] = {str(p): [] for p in patterns}
+    for _, pat_str, ok in raw:
+        out[pat_str].append(ok)
+    return out

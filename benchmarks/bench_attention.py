@@ -1,0 +1,89 @@
+"""Extension bench — attention (GAT-style) aggregation on SPTC patterns.
+
+The paper covers four non-attentive GNNs; attention models need SDDMM +
+edge softmax + SpMM.  Both sparse kernels inherit the V:N:M structure after
+reordering, so the cost-model speedup story extends: this bench times the
+modelled attention pipeline (SDDMM charged like an SpMM of the same shape,
+softmax as an element-wise epilogue) for CSR vs SPTC.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import render_table
+from repro.core import VNMPattern
+from repro.gnn.attention import GATConv
+from repro.gnn.frameworks import reorder_for_graph
+from repro.sptc import CostModel, HybridVNM, SpmmWorkload
+
+PATTERN = VNMPattern(1, 2, 4)
+DATASETS = ("cora", "citeseer")
+H = 64
+
+
+def _modelled_times(cm: CostModel, csr, venom, h: int) -> tuple[float, float]:
+    """(csr pipeline, sptc pipeline) modelled seconds for SDDMM+softmax+SpMM."""
+    wl = SpmmWorkload.from_csr(csr, h)
+    t_csr = 2 * cm.time_csr_spmm(wl) + cm.time_elementwise(csr.nnz)
+    t_sptc = 2 * cm.time_venom_spmm(venom, h) + cm.time_elementwise(venom.values.size)
+    return t_csr, t_sptc
+
+
+@pytest.fixture(scope="module")
+def attention(gnn_datasets):
+    cm = CostModel()
+    rows = []
+    for name in DATASETS:
+        g = gnn_datasets[name]
+        perm = reorder_for_graph(g, PATTERN)
+        reordered = g.relabel(perm)
+        op = reordered.csr(normalized=True, add_self_loops=True)
+        hy = HybridVNM.compress_csr(op, PATTERN)
+        conv = GATConv(reordered.features.shape[1], H, np.random.default_rng(0))
+        out_csr = conv.forward_csr(op, reordered.features)
+        out_venom = conv.forward_venom(hy.main, reordered.features)
+        numerically_equal = bool(np.allclose(out_csr, out_venom, atol=1e-8))
+        t_csr, t_sptc = _modelled_times(cm, op, hy.main, H)
+        rows.append(
+            {
+                "name": name,
+                "equal": numerically_equal,
+                "t_csr_us": t_csr * 1e6,
+                "t_sptc_us": t_sptc * 1e6,
+                "speedup": t_csr / t_sptc,
+            }
+        )
+    return rows
+
+
+def test_attention_print(attention):
+    table = [
+        [r["name"], "yes" if r["equal"] else "NO", r["t_csr_us"], r["t_sptc_us"], r["speedup"]]
+        for r in attention
+    ]
+    print()
+    print(render_table(
+        "Extension: GAT-style attention pipeline (SDDMM + softmax + SpMM)",
+        ["Dataset", "outputs equal", "CSR us (model)", "SPTC us (model)", "speedup"],
+        table,
+    ))
+
+
+def test_pipelines_numerically_equal(attention):
+    for r in attention:
+        assert r["equal"], r["name"]
+
+
+def test_attention_speeds_up(attention):
+    for r in attention:
+        assert r["speedup"] > 1.0, r
+
+
+def test_bench_attention_forward(benchmark, gnn_datasets):
+    g = gnn_datasets["cora"]
+    perm = reorder_for_graph(g, PATTERN)
+    reordered = g.relabel(perm)
+    op = reordered.csr(normalized=True, add_self_loops=True)
+    conv = GATConv(reordered.features.shape[1], 32, np.random.default_rng(1))
+    out = benchmark(conv.forward_csr, op, reordered.features)
+    assert out.shape == (g.n, 32)

@@ -1,0 +1,108 @@
+"""Baseline comparison — SOGRE vs classical reorderings, on both objectives.
+
+The related-work section (§6) surveys locality-oriented reorderings (RCM,
+degree sorting, Gorder…); none targets V:N:M conformity.  This bench runs
+SOGRE, RCM, degree sort, and random relabelling on the same matrices and
+scores both objective families:
+
+* pattern conformity (invalid 2:4 segment vectors — SOGRE's objective);
+* locality (bandwidth / linear arrangement — RCM's objective).
+
+Expected shape: each family wins its own objective; generic locality
+reordering does **not** deliver N:M conformity (the paper's motivation for a
+purpose-built algorithm).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import degree_sort_order, random_order, rcm_order
+from repro.bench import render_table
+from repro.core import NMPattern, VNMPattern, reorder, total_pscore
+from repro.core.ordering_metrics import linear_arrangement_cost, matrix_bandwidth
+
+PATTERN = VNMPattern(1, 2, 4)
+NM = NMPattern(2, 4)
+
+
+@pytest.fixture(scope="module")
+def orderings(collections):
+    rng = np.random.default_rng(0)
+    rows = []
+    for g in collections["small"][:10] + collections["medium"][:6]:
+        bm = g.bitmatrix()
+        variants = {"original": bm}
+        variants["sogre"] = reorder(bm, PATTERN, max_iter=6).matrix
+        variants["rcm"] = bm.permute_symmetric(rcm_order(g).order)
+        variants["degree"] = bm.permute_symmetric(degree_sort_order(g).order)
+        variants["random"] = bm.permute_symmetric(random_order(g, rng).order)
+        rows.append(
+            {
+                "name": g.name,
+                **{
+                    f"pscore_{k}": total_pscore(v, NM) for k, v in variants.items()
+                },
+                **{
+                    f"bw_{k}": matrix_bandwidth(v) for k, v in variants.items()
+                },
+                **{
+                    f"la_{k}": linear_arrangement_cost(v) for k, v in variants.items()
+                },
+            }
+        )
+    return rows
+
+
+VARIANTS = ("original", "sogre", "rcm", "degree", "random")
+
+
+def test_orderings_print(orderings):
+    table = [
+        [r["name"]] + [r[f"pscore_{v}"] for v in VARIANTS] + [r[f"bw_{v}"] for v in VARIANTS]
+        for r in orderings
+    ]
+    headers = (
+        ["Matrix"]
+        + [f"pscore-{v}" for v in VARIANTS]
+        + [f"bandwidth-{v}" for v in VARIANTS]
+    )
+    print()
+    print(render_table("Baselines: pattern conformity vs locality objectives", headers, table))
+
+
+def test_sogre_wins_pattern_objective(orderings):
+    for r in orderings:
+        others = min(r["pscore_rcm"], r["pscore_degree"], r["pscore_random"])
+        assert r[f"pscore_sogre"] <= others, r["name"]
+
+
+def test_sogre_removes_nearly_all_violations(orderings):
+    total_before = sum(r["pscore_original"] for r in orderings)
+    total_after = sum(r["pscore_sogre"] for r in orderings)
+    assert total_after <= total_before * 0.05
+
+
+def test_locality_reorderings_do_not_fix_patterns(orderings):
+    # The paper's motivation: existing reorderings leave most violations.
+    with_violations = [r for r in orderings if r["pscore_original"] > 20]
+    assert with_violations
+    kept = [
+        min(r["pscore_rcm"], r["pscore_degree"]) / r["pscore_original"]
+        for r in with_violations
+    ]
+    assert np.median(kept) > 0.3
+
+
+def test_rcm_wins_bandwidth_objective(orderings):
+    wins = sum(
+        1
+        for r in orderings
+        if r["bw_rcm"] <= min(r["bw_sogre"], r["bw_random"], r["bw_degree"])
+    )
+    assert wins >= len(orderings) * 0.6
+
+
+def test_bench_rcm(benchmark, collections):
+    g = collections["small"][0]
+    p = benchmark(rcm_order, g)
+    p.validate()

@@ -1,0 +1,95 @@
+"""Extension — best-pattern predictor (the paper's §5.3 future-work idea).
+
+Trains the structural-feature classifier on one seeded collection and
+evaluates on a held-out one: how often does the predicted pattern match the
+search's pick, how often is the truth in the top-2, and how much search work
+does prediction avoid?
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import render_table
+from repro.core import VNMPattern, find_best_pattern, train_pattern_predictor
+from repro.graphs import suitesparse_like_collection
+
+
+@pytest.fixture(scope="module")
+def predictor_eval():
+    train_graphs = (
+        suitesparse_like_collection("small", 20, seed=7)
+        + suitesparse_like_collection("medium", 10, seed=7, max_vertices=3000)
+    )
+    test_graphs = (
+        suitesparse_like_collection("small", 10, seed=8)
+        + suitesparse_like_collection("medium", 5, seed=8, max_vertices=3000)
+    )
+    t0 = time.perf_counter()
+    model = train_pattern_predictor(train_graphs, max_iter=4)
+    train_time = time.perf_counter() - t0
+
+    records = []
+    for g in test_graphs:
+        bm = g.bitmatrix()
+        t0 = time.perf_counter()
+        found = find_best_pattern(bm, max_iter=4)
+        search_time = time.perf_counter() - t0
+        truth = found.pattern if found.succeeded else VNMPattern(1, 2, 4)
+        t0 = time.perf_counter()
+        pred = model.predict(bm)
+        top2 = model.predict_top_k(bm, k=2)
+        predict_time = time.perf_counter() - t0
+        records.append(
+            {
+                "name": g.name,
+                "truth": str(truth),
+                "pred": str(pred),
+                "hit": pred == truth,
+                "hit_top2": truth in top2,
+                "search_s": search_time,
+                "predict_s": predict_time,
+            }
+        )
+    return model, records, train_time
+
+
+def test_predictor_print(predictor_eval):
+    model, records, train_time = predictor_eval
+    rows = [
+        [r["name"], r["truth"], r["pred"], "Y" if r["hit"] else "n", r["search_s"], r["predict_s"]]
+        for r in records
+    ]
+    print()
+    print(render_table(
+        "Extension: V:N:M pattern predictor (held-out evaluation)",
+        ["Matrix", "search best", "predicted", "hit", "search s", "predict s"],
+        rows,
+    ))
+    hits = np.mean([r["hit"] for r in records])
+    top2 = np.mean([r["hit_top2"] for r in records])
+    print(f"train acc {model.train_accuracy:.1%} (train {train_time:.1f}s); "
+          f"held-out top-1 {hits:.1%}, top-2 {top2:.1%}")
+
+
+def test_predictor_beats_chance(predictor_eval):
+    model, records, _ = predictor_eval
+    hits = np.mean([r["hit"] for r in records])
+    chance = 1.0 / max(len(model.classes), 1)
+    assert hits > chance * 1.5
+
+
+def test_prediction_much_faster_than_search(predictor_eval):
+    _, records, _ = predictor_eval
+    search = np.mean([r["search_s"] for r in records])
+    predict = np.mean([r["predict_s"] for r in records])
+    assert predict < search / 10
+
+
+def test_bench_predict(benchmark, predictor_eval):
+    model, _, _ = predictor_eval
+    g = suitesparse_like_collection("small", 1, seed=9)[0]
+    bm = g.bitmatrix()
+    out = benchmark(model.predict, bm)
+    assert out in model.classes or out is not None

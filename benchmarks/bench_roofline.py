@@ -1,0 +1,82 @@
+"""Analysis bench — roofline view of the CSR vs SPTC kernels.
+
+Prints, for a representative matrix per class, the arithmetic intensity and
+achieved (modelled) throughput of both kernels across the H sweep, and
+checks the mechanism the paper's speedups rest on: CSR stays pinned at its
+irregularity-limited throughput, the SPTC kernel's achieved FLOP/s rises
+with H toward the tensor-core roof.
+"""
+
+import pytest
+
+from repro.bench import render_table
+from repro.core import VNMPattern, reorder
+from repro.sptc import CSRMatrix, HybridVNM
+from repro.sptc.roofline import roofline_series
+
+HS = (64, 128, 256, 512)
+PATTERN = VNMPattern(1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def roofline(collections):
+    out = {}
+    for cls in ("small", "medium"):
+        g = max(collections[cls], key=lambda x: x.n_edges)
+        res = reorder(g.bitmatrix(), PATTERN, max_iter=6)
+        csr = CSRMatrix.from_scipy(res.matrix.to_scipy())
+        venom = HybridVNM.compress_csr(csr, PATTERN).main
+        out[cls] = (g.name, roofline_series(csr, venom, HS))
+    return out
+
+
+def test_roofline_print(roofline):
+    rows = []
+    for cls, (name, pts) in roofline.items():
+        for pt in pts:
+            rows.append(
+                [cls, name, pt.kernel, pt.h, pt.arithmetic_intensity,
+                 pt.achieved_flops / 1e9, pt.bound()]
+            )
+    print()
+    print(render_table(
+        "Roofline: arithmetic intensity and achieved GFLOP/s (modelled)",
+        ["Class", "Matrix", "Kernel", "H", "FLOP/byte", "GFLOP/s", "bound"],
+        rows,
+    ))
+
+
+def test_venom_throughput_rises_with_h(roofline):
+    for cls, (name, pts) in roofline.items():
+        venom_pts = [p for p in pts if p.kernel == "venom"]
+        achieved = [p.achieved_flops for p in venom_pts]
+        assert achieved[-1] > achieved[0], (cls, achieved)
+
+
+def test_csr_throughput_capped(roofline):
+    from repro.sptc import DEFAULT_PARAMS
+
+    for cls, (name, pts) in roofline.items():
+        for p in pts:
+            if p.kernel == "csr":
+                # Never above the irregularity-limited CSR throughput roofs
+                # of the two framework personalities.
+                assert p.achieved_flops <= 6.0e11
+
+    del DEFAULT_PARAMS
+
+
+def test_venom_beats_csr_throughput_at_high_h(roofline):
+    for cls, (name, pts) in roofline.items():
+        csr512 = next(p for p in pts if p.kernel == "csr" and p.h == 512)
+        venom512 = next(p for p in pts if p.kernel == "venom" and p.h == 512)
+        assert venom512.achieved_flops > csr512.achieved_flops
+
+
+def test_bench_roofline_eval(benchmark, collections):
+    g = collections["small"][0]
+    res = reorder(g.bitmatrix(), PATTERN, max_iter=4)
+    csr = CSRMatrix.from_scipy(res.matrix.to_scipy())
+    venom = HybridVNM.compress_csr(csr, PATTERN).main
+    pts = benchmark(roofline_series, csr, venom, HS)
+    assert len(pts) == 2 * len(HS)

@@ -1,0 +1,134 @@
+"""Table 7 — 1:2:4 reordering quality on the SuiteSparse stand-in.
+
+Per class (small/medium/large): initial and final invalid segment vectors,
+improvement rate, iteration count (total Stage-1 + Stage-2 passes, the
+paper's "Iter."), and wall-clock reordering time.
+
+Shape claims (paper Table 7):
+* improvement rate ≥ 98% on average in every class;
+* the median matrix reaches 0 invalid vectors (100% rate);
+* reordering time grows with class size and stays within an offline budget.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import render_table
+from repro.core import VNMPattern, reorder
+
+PATTERN = VNMPattern(1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def table7(collections):
+    out = {}
+    for cls, graphs in collections.items():
+        records = []
+        for g in graphs:
+            bm = g.bitmatrix()
+            t0 = time.perf_counter()
+            res = reorder(bm, PATTERN, max_iter=10)
+            dt = time.perf_counter() - t0
+            stage_iters = sum(s["iters"] for s in res.stage_trace)
+            records.append(
+                {
+                    "init": res.initial_invalid_vectors,
+                    "final": res.final_invalid_vectors,
+                    "rate": res.improvement_rate,
+                    "iters": stage_iters,
+                    "time": dt,
+                    "conforms_before": res.initial_invalid_vectors == 0
+                    and res.initial_mbscore == 0,
+                    "conforms_after": res.conforms,
+                }
+            )
+        out[cls] = records
+    return out
+
+
+def _agg(records, key, fn):
+    return fn(np.array([r[key] for r in records], dtype=np.float64))
+
+
+def test_table7_print(table7):
+    rows = []
+    for cls in ("small", "medium", "large"):
+        rec = table7[cls]
+        for label, fn in (("Avg", np.mean), ("Med", np.median)):
+            rows.append(
+                [
+                    cls if label == "Avg" else "",
+                    label,
+                    _agg(rec, "init", fn),
+                    _agg(rec, "final", fn),
+                    f"{_agg(rec, 'rate', fn):.2%}",
+                    _agg(rec, "iters", fn),
+                    _agg(rec, "time", fn),
+                ]
+            )
+    print()
+    print(
+        render_table(
+            "Table 7: 1:2:4 reordering quality (SuiteSparse stand-in)",
+            ["Class", "", "Init #inv segvec", "Finl #inv segvec", "Imprv rate", "Iter.", "Reorder time (s)"],
+            rows,
+        )
+    )
+
+
+def test_improvement_rate_in_paper_band(table7):
+    for cls, rec in table7.items():
+        avg_rate = _agg(rec, "rate", np.mean)
+        assert avg_rate >= 0.95, (cls, avg_rate)  # paper: 98.9–100%
+
+
+def test_median_matrix_fully_fixed(table7):
+    for cls, rec in table7.items():
+        assert _agg(rec, "final", np.median) == 0.0, cls
+
+
+def test_larger_classes_have_more_initial_violations(table7):
+    # The CI harness caps medium/large graph sizes (conftest), which blurs the
+    # medium-vs-large ordering; the robust claim is that the small class has
+    # by far the fewest violations.
+    inits = [_agg(table7[c], "init", np.mean) for c in ("small", "medium", "large")]
+    assert inits[0] < inits[1]
+    assert inits[0] < inits[2]
+
+
+def test_reorder_time_scales_with_class(table7):
+    times = [_agg(table7[c], "time", np.mean) for c in ("small", "medium", "large")]
+    assert times[0] <= times[1] <= times[2] * 1.5
+
+
+def test_conforming_fraction_print(table7):
+    rows = []
+    for cls in ("small", "medium", "large"):
+        rec = table7[cls]
+        before = np.mean([r["conforms_before"] for r in rec])
+        after = np.mean([r["conforms_after"] for r in rec])
+        rows.append([cls, f"{before:.1%}", f"{after:.1%}"])
+    print()
+    print(render_table(
+        "Conforming-graph fraction at 1:2:4 (paper: 5-9% before, 88-94% after)",
+        ["Class", "before reorder", "after reorder"],
+        rows,
+    ))
+
+
+def test_conforming_fraction_jumps(table7):
+    # Paper: 5-9% of graphs conform natively; reordering raises it to ~90%.
+    for cls, rec in table7.items():
+        before = np.mean([r["conforms_before"] for r in rec])
+        after = np.mean([r["conforms_after"] for r in rec])
+        assert after >= 0.8, (cls, after)
+        assert after > before, cls
+
+
+def test_bench_reorder_small(benchmark, collections):
+    g = collections["small"][0]
+    bm = g.bitmatrix()
+    res = benchmark(reorder, bm, PATTERN, max_iter=10)
+    assert res.improvement_rate >= 0.0

@@ -1,0 +1,80 @@
+"""Offline preprocessing → persisted artefacts → serving (paper §4.4).
+
+"The reordering takes 0.05–30s … offering an effective method for offline
+preprocessing of graphs that will be reused repeatedly across many
+inferences."  This example is that deployment story end to end: preprocess
+once, save the permutation + compressed operand, then a "serving process"
+loads them and answers many inference requests without ever re-running the
+search.
+
+Run:  python examples/serving_pipeline.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import find_best_pattern
+from repro.graphs import load_dataset
+from repro.sptc import (
+    CSRMatrix,
+    CostModel,
+    HybridVNM,
+    SpmmWorkload,
+    load_preprocessed,
+    save_preprocessed,
+)
+
+
+def offline_preprocess(path: Path) -> None:
+    graph = load_dataset("cora", seed=0, scale=0.3)
+    print(f"[offline] dataset: {graph.n} vertices, {graph.n_edges} edges")
+    t0 = time.perf_counter()
+    best = find_best_pattern(graph.bitmatrix(), max_iter=6)
+    print(f"[offline] best pattern {best.pattern} found in {time.perf_counter() - t0:.1f}s")
+    reordered = graph.relabel(best.result.permutation)
+    operand = HybridVNM.compress_csr(
+        reordered.csr(normalized=True, add_self_loops=True), best.pattern
+    ).main
+    save_preprocessed(path, operand=operand, permutation=best.result.permutation)
+    print(f"[offline] wrote {path} ({path.stat().st_size / 1024:.0f} KiB)")
+
+
+def serve(path: Path, n_requests: int = 5) -> None:
+    operand, perm = load_preprocessed(path)
+    print(f"[serve]   loaded operand {operand.pattern} shape {operand.shape}, "
+          f"permutation n={perm.n}")
+    cm = CostModel()
+    rng = np.random.default_rng(1)
+    total_model_time = 0.0
+    for i in range(n_requests):
+        # Each request: new feature batch, permute into the reordered basis,
+        # aggregate on the SPTC path, map the result back.
+        features = rng.random((operand.shape[1], 64))
+        permuted = features[perm.order]
+        out = operand.spmm(permuted)
+        restored = np.empty_like(out)
+        restored[perm.order] = out
+        total_model_time += cm.time_venom_spmm(operand, 64)
+        print(f"[serve]   request {i}: output {restored.shape}, "
+              f"modelled kernel {cm.time_venom_spmm(operand, 64) * 1e6:.1f}us")
+    csr_time = cm.time_csr_spmm(
+        SpmmWorkload(operand.shape[0], operand.shape[1],
+                     int((operand.values != 0).sum()), 64)
+    )
+    print(f"[serve]   per-request speedup vs CSR baseline: "
+          f"{csr_time / (total_model_time / n_requests):.2f}x — and the "
+          f"reordering cost was paid once, offline")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cora_preprocessed.npz"
+        offline_preprocess(path)
+        serve(path)
+
+
+if __name__ == "__main__":
+    main()

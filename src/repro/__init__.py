@@ -1,0 +1,41 @@
+"""repro — reproduction of "Accelerating GNNs on GPU Sparse Tensor Cores
+through N:M Sparsity-Oriented Graph Reordering" (PPoPP 2025).
+
+Public API highlights
+---------------------
+* :func:`repro.reorder` / :func:`repro.find_best_pattern` — the SOGRE
+  dual-level reordering algorithm and the best V:N:M pattern search.
+* :mod:`repro.sptc` — emulated Sparse Tensor Core substrate: CSR/BSR/N:M/
+  VENOM formats, functional ``mma.sp``, SpMM kernels and the A100-class
+  analytical cost model.
+* :mod:`repro.graphs` — graph substrate: datasets, generators, sampling.
+* :mod:`repro.gnn` — NumPy GNN framework (GCN / GraphSAGE / Cheb / SGC) with
+  pluggable SpMM backends ("PyG-like" and "DGL-like" engines).
+* :mod:`repro.prune`, :mod:`repro.baselines`, :mod:`repro.distributed` —
+  the paper's comparison points and the multi-device experiment substrate.
+"""
+
+from .core import (
+    BitMatrix,
+    NMPattern,
+    Permutation,
+    ReorderResult,
+    VNMPattern,
+    find_best_pattern,
+    reorder,
+    reorder_graph_matrix,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitMatrix",
+    "NMPattern",
+    "VNMPattern",
+    "Permutation",
+    "ReorderResult",
+    "reorder",
+    "reorder_graph_matrix",
+    "find_best_pattern",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Comparison baselines: Jigsaw column reordering and classical orderings."""
+
+from .classical import bfs_order, degree_sort_order, random_order, rcm_order
+from .jigsaw import JigsawResult, jigsaw_column_reorder
+
+__all__ = [
+    "degree_sort_order",
+    "bfs_order",
+    "rcm_order",
+    "random_order",
+    "JigsawResult",
+    "jigsaw_column_reorder",
+]

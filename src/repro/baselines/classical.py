@@ -1,0 +1,76 @@
+"""Classical graph reordering baselines.
+
+These are the pre-existing reorderings the related-work section surveys
+(degree sorting, BFS/Cuthill–McKee bandwidth reduction, random relabelling).
+None of them targets N:M patterns — the ablation benchmarks use them to show
+that generic locality-oriented reordering does not deliver V:N:M conformity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.permutation import Permutation
+from ..graphs.graph import Graph
+
+__all__ = ["degree_sort_order", "bfs_order", "rcm_order", "random_order"]
+
+
+def degree_sort_order(graph: Graph, *, descending: bool = True) -> Permutation:
+    """Sort vertices by degree (hubs first by default)."""
+    deg = graph.degrees()
+    key = -deg if descending else deg
+    return Permutation(np.argsort(key, kind="stable").astype(np.int64))
+
+
+def bfs_order(graph: Graph, *, source: int = 0) -> Permutation:
+    """Breadth-first visitation order; unreached vertices append at the end."""
+    csr = graph.csr()
+    indptr, indices = csr.indptr, csr.indices
+    n = graph.n
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    for start in [source] + list(range(n)):
+        if visited[start]:
+            continue
+        visited[start] = True
+        queue = [start]
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            visited[fresh] = True
+            queue.extend(int(x) for x in np.sort(fresh))
+    return Permutation(np.array(order, dtype=np.int64))
+
+
+def rcm_order(graph: Graph) -> Permutation:
+    """Reverse Cuthill–McKee: BFS from a low-degree root, neighbours visited
+    in increasing-degree order, then the whole order reversed — the classic
+    bandwidth-minimizing reordering."""
+    csr = graph.csr()
+    indptr, indices = csr.indptr, csr.indices
+    deg = graph.degrees()
+    n = graph.n
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    roots = np.argsort(deg, kind="stable")
+    for root in roots:
+        if visited[root]:
+            continue
+        visited[root] = True
+        queue = [int(root)]
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            fresh = nbrs[~visited[nbrs]]
+            visited[fresh] = True
+            queue.extend(int(x) for x in fresh[np.argsort(deg[fresh], kind="stable")])
+    return Permutation(np.array(order[::-1], dtype=np.int64))
+
+
+def random_order(graph: Graph, rng: np.random.Generator) -> Permutation:
+    """A uniformly random vertex relabelling (the null baseline)."""
+    return Permutation.random(graph.n, rng)

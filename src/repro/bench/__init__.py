@@ -1,0 +1,13 @@
+"""Benchmark harness utilities shared by the files in ``benchmarks/``."""
+
+from .runner import collection_counts, full_scale, geomean, seeded_rng
+from .tables import format_cell, render_table
+
+__all__ = [
+    "geomean",
+    "full_scale",
+    "collection_counts",
+    "seeded_rng",
+    "render_table",
+    "format_cell",
+]

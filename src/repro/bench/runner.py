@@ -1,0 +1,38 @@
+"""Shared benchmark-harness utilities."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["geomean", "full_scale", "collection_counts", "seeded_rng"]
+
+
+def geomean(values) -> float:
+    """Geometric mean, ignoring non-positive entries defensively."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[arr > 0]
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.log(arr).mean()))
+
+
+def full_scale() -> bool:
+    """``REPRO_FULL=1`` switches benches from CI-sized to paper-sized runs."""
+    return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+def collection_counts() -> dict[str, int]:
+    """SuiteSparse stand-in population sizes per class.
+
+    CI default keeps runtimes in seconds; full scale matches Table 1 counts.
+    """
+    if full_scale():
+        return {"small": 444, "medium": 724, "large": 188}
+    return {"small": 24, "medium": 16, "large": 6}
+
+
+def seeded_rng(seed: int = 0) -> np.random.Generator:
+    """A fresh deterministic generator for benchmark workloads."""
+    return np.random.default_rng(seed)

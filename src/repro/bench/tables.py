@@ -1,0 +1,40 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Each benchmark prints the same rows/series the paper's table or figure
+reports, via these helpers, so `pytest benchmarks/ -s` output reads like the
+paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Render one table cell: floats get magnitude-appropriate precision."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an ASCII table with a title banner."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells):
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", fmt_row(headers), sep]
+    lines += [fmt_row(r) for r in str_rows]
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro reorder  INPUT.mtx [--pattern V:N:M] [--output OUT.mtx]
+    python -m repro survey   INPUT.mtx [--h 128]
+    python -m repro collection CLASS [--count N] [--seed S]
+
+``reorder`` writes the reordered (still symmetric) matrix and prints the
+conformity report; ``survey`` runs the best-pattern search and the modelled
+SpMM comparison for one matrix; ``collection`` prints Table-1-style stats of
+the synthetic SuiteSparse stand-in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import render_table
+from .core import VNMPattern, find_best_pattern, reorder
+from .graphs import collection_stats, graph_from_mtx, graph_to_mtx, suitesparse_like_collection
+from .sptc import CSRMatrix, CostModel, HybridVNM, SpmmWorkload
+
+__all__ = ["main", "parse_pattern"]
+
+
+def parse_pattern(text: str) -> VNMPattern:
+    """Parse ``"V:N:M"`` or ``"N:M"`` (V defaults to 1)."""
+    parts = text.split(":")
+    try:
+        nums = [int(p) for p in parts]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad pattern {text!r}") from exc
+    if len(nums) == 2:
+        return VNMPattern(1, nums[0], nums[1])
+    if len(nums) == 3:
+        return VNMPattern(nums[0], nums[1], nums[2])
+    raise argparse.ArgumentTypeError(f"bad pattern {text!r}; expected N:M or V:N:M")
+
+
+def _cmd_reorder(args) -> int:
+    graph = graph_from_mtx(args.input)
+    res = reorder(graph.bitmatrix(), args.pattern, max_iter=args.max_iter,
+                  time_budget=args.time_budget)
+    for key, value in res.summary().items():
+        print(f"{key}: {value}")
+    if args.output:
+        reordered = graph.relabel(res.permutation)
+        graph_to_mtx(reordered, args.output)
+        print(f"wrote {args.output}")
+    return 0 if res.conforms else 1
+
+
+def _cmd_survey(args) -> int:
+    graph = graph_from_mtx(args.input)
+    bm = graph.bitmatrix()
+    print(f"{args.input}: {graph.n} vertices, nnz {bm.nnz()}, density {bm.density():.4%}")
+    best = find_best_pattern(bm, max_iter=args.max_iter)
+    if not best.succeeded:
+        print("no conforming V:N:M pattern found")
+        return 1
+    print(f"best pattern: {best.pattern}")
+    for pat, ok in best.attempts:
+        print(f"  tried {pat}: {'conforms' if ok else 'fails'}")
+    cm = CostModel()
+    csr = CSRMatrix.from_scipy(best.result.matrix.to_scipy())
+    hy = HybridVNM.compress_csr(csr, best.pattern)
+    t_csr = cm.time_csr_spmm(SpmmWorkload.from_csr(csr, args.h))
+    t_sptc = hy.model_time(cm, args.h)
+    print(f"modelled SpMM (H={args.h}): CSR {t_csr * 1e6:.1f}us, "
+          f"SPTC {t_sptc * 1e6:.1f}us, speedup {t_csr / t_sptc:.2f}x")
+    return 0
+
+
+def _cmd_collection(args) -> int:
+    graphs = suitesparse_like_collection(args.cls, args.count, seed=args.seed)
+    stats = collection_stats(graphs, with_diameter=args.diameter)
+    rows = []
+    for key, agg in stats.items():
+        if key == "n_graphs":
+            continue
+        rows.append([key, agg["avg"], agg["med"]])
+    print(render_table(f"{args.cls} class ({stats['n_graphs']} graphs)",
+                       ["stat", "avg", "med"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    r = sub.add_parser("reorder", help="reorder a MatrixMarket adjacency matrix")
+    r.add_argument("input")
+    r.add_argument("--pattern", type=parse_pattern, default=VNMPattern(1, 2, 4))
+    r.add_argument("--output", default=None)
+    r.add_argument("--max-iter", type=int, default=10)
+    r.add_argument("--time-budget", type=float, default=None)
+    r.set_defaults(fn=_cmd_reorder)
+
+    s = sub.add_parser("survey", help="best-pattern search + modelled speedup")
+    s.add_argument("input")
+    s.add_argument("--h", type=int, default=128)
+    s.add_argument("--max-iter", type=int, default=6)
+    s.set_defaults(fn=_cmd_survey)
+
+    c = sub.add_parser("collection", help="synthetic SuiteSparse class stats")
+    c.add_argument("cls", choices=["small", "medium", "large"])
+    c.add_argument("--count", type=int, default=None)
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("--diameter", action="store_true")
+    c.set_defaults(fn=_cmd_collection)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Vertex permutations.
+
+A :class:`Permutation` stores the *gather* form ``perm[new] = old``: applying
+it to a matrix produces ``A[perm][:, perm]``, i.e. new row ``i`` is old row
+``perm[i]``.  This matches the output convention of :func:`numpy.argsort`
+(sorting keys yields the gather order of the sorted sequence), which is how
+Stage-1 produces its reorderings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """An immutable permutation of ``n`` vertices in gather form."""
+
+    __slots__ = ("order",)
+
+    def __init__(self, order: np.ndarray):
+        order = np.asarray(order, dtype=np.int64)
+        if order.ndim != 1:
+            raise ValueError("permutation must be one-dimensional")
+        self.order = order
+        self.order.setflags(write=False)
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        return cls(np.arange(n, dtype=np.int64))
+
+    @classmethod
+    def from_swaps(cls, n: int, swaps: list[tuple[int, int]]) -> "Permutation":
+        """Permutation that exchanges each listed vertex pair.
+
+        Swaps are applied in order, so overlapping pairs compose like
+        successive transpositions.
+        """
+        order = np.arange(n, dtype=np.int64)
+        for u, v in swaps:
+            order[u], order[v] = order[v], order[u]
+        return cls(order)
+
+    @classmethod
+    def random(cls, n: int, rng: np.random.Generator) -> "Permutation":
+        return cls(rng.permutation(n).astype(np.int64))
+
+    # -- properties --------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.order.shape[0]
+
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self.order, np.arange(self.n)))
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` unless this is a bijection on ``range(n)``."""
+        seen = np.zeros(self.n, dtype=bool)
+        if self.order.min(initial=0) < 0 or self.order.max(initial=-1) >= self.n:
+            raise ValueError("permutation entries out of range")
+        seen[self.order] = True
+        if not seen.all():
+            raise ValueError("permutation is not a bijection")
+
+    # -- algebra -----------------------------------------------------------
+    def inverse(self) -> "Permutation":
+        inv = np.empty(self.n, dtype=np.int64)
+        inv[self.order] = np.arange(self.n, dtype=np.int64)
+        return Permutation(inv)
+
+    def then(self, other: "Permutation") -> "Permutation":
+        """Composite permutation equivalent to applying ``self`` then ``other``.
+
+        If ``B = A[self]`` and ``C = B[other]`` then
+        ``C = A[self.then(other)]``.
+        """
+        if other.n != self.n:
+            raise ValueError("size mismatch in permutation composition")
+        return Permutation(self.order[other.order])
+
+    # -- application -------------------------------------------------------
+    def apply_to_vector(self, x: np.ndarray) -> np.ndarray:
+        """Gather: ``out[new] = x[old]`` along the first axis."""
+        return np.asarray(x)[self.order]
+
+    def apply_to_matrix(self, a: np.ndarray) -> np.ndarray:
+        """Symmetrically permute a dense square matrix: ``A[perm][:, perm]``."""
+        a = np.asarray(a)
+        if a.shape[0] != self.n or a.shape[1] != self.n:
+            raise ValueError("matrix shape does not match permutation size")
+        return a[np.ix_(self.order, self.order)]
+
+    def new_index_of(self, old: int | np.ndarray):
+        """Map old vertex ids to their new ids (the scatter view)."""
+        return self.inverse().order[old]
+
+    # -- dunder ------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Permutation) and np.array_equal(self.order, other.order)
+
+    def __hash__(self):
+        return hash(self.order.tobytes())
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:
+        return f"Permutation(n={self.n})"

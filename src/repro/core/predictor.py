@@ -1,0 +1,166 @@
+"""Best-pattern predictor — the paper's proposed future work (§5.3).
+
+    "It is possible to create some machine learning models to predict the
+    preferred V:N:M pattern for a given matrix, akin to the predictors of the
+    best sparse storage format [62, 63, 66]."
+
+This module implements that proposal from scratch: cheap structural features
+of a matrix (density, degree statistics, locality, initial violation rates)
+feed a small multinomial logistic-regression classifier trained on matrices
+whose best pattern was found with the full doubling search.  Predicting is
+~instant; the search runs the reordering up to ten times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .autoselect import find_best_pattern
+from .bitmatrix import BitMatrix
+from .patterns import NMPattern, VNMPattern
+
+__all__ = ["pattern_features", "PatternPredictor", "train_pattern_predictor", "FEATURE_NAMES"]
+
+FEATURE_NAMES = (
+    "log_n",
+    "log_density",
+    "log_avg_degree",
+    "degree_cv",
+    "max_degree_frac",
+    "bandwidth_frac",
+    "violation_rate_2_4",
+    "violation_rate_2_8",
+)
+
+
+def pattern_features(bm: BitMatrix) -> np.ndarray:
+    """Structural feature vector of an adjacency matrix (see FEATURE_NAMES)."""
+    n = max(bm.n_rows, 1)
+    deg = bm.row_nnz().astype(np.float64)
+    nnz = float(deg.sum())
+    avg_deg = nnz / n if n else 0.0
+    density = nnz / (n * n) if n else 0.0
+    cv = float(deg.std() / avg_deg) if avg_deg > 0 else 0.0
+    max_frac = float(deg.max(initial=0.0) / n)
+    rows, cols = bm.nonzero()
+    if rows.size:
+        bandwidth = float(np.abs(rows - cols).mean()) / n
+    else:
+        bandwidth = 0.0
+
+    def violation_rate(m: int) -> float:
+        pat = NMPattern(2, m)
+        total = max(bm.n_rows * bm.n_segments(m), 1)
+        return pat.count_invalid_vectors(bm) / total
+
+    return np.array(
+        [
+            np.log1p(n),
+            np.log(max(density, 1e-12)),
+            np.log1p(avg_deg),
+            cv,
+            max_frac,
+            bandwidth,
+            violation_rate(4),
+            violation_rate(8),
+        ]
+    )
+
+
+@dataclass
+class PatternPredictor:
+    """Multinomial logistic regression over candidate V:N:M patterns."""
+
+    classes: list[VNMPattern]
+    weights: np.ndarray          # (n_classes, n_features + 1), bias last
+    feature_mean: np.ndarray
+    feature_std: np.ndarray
+    train_accuracy: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+    def _design(self, feats: np.ndarray) -> np.ndarray:
+        z = (feats - self.feature_mean) / self.feature_std
+        return np.concatenate([z, [1.0]])
+
+    def predict_proba(self, bm: BitMatrix) -> np.ndarray:
+        x = self._design(pattern_features(bm))
+        scores = self.weights @ x
+        scores -= scores.max()
+        e = np.exp(scores)
+        return e / e.sum()
+
+    def predict(self, bm: BitMatrix) -> VNMPattern:
+        return self.classes[int(np.argmax(self.predict_proba(bm)))]
+
+    def predict_top_k(self, bm: BitMatrix, k: int = 2) -> list[VNMPattern]:
+        """The k most likely patterns — candidates for a narrowed search."""
+        proba = self.predict_proba(bm)
+        order = np.argsort(-proba)[:k]
+        return [self.classes[int(i)] for i in order]
+
+
+def _softmax_rows(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def train_pattern_predictor(
+    graphs,
+    *,
+    max_iter: int = 5,
+    epochs: int = 400,
+    lr: float = 0.3,
+    l2: float = 1e-3,
+    seed: int = 0,
+    labels: list[VNMPattern] | None = None,
+) -> PatternPredictor:
+    """Label a training population with the full search, then fit the model.
+
+    ``graphs`` is an iterable of :class:`~repro.graphs.graph.Graph` (or
+    anything with ``bitmatrix()``).  Pre-computed ``labels`` skip the
+    expensive search (used by tests).
+    """
+    feats = []
+    pats: list[VNMPattern] = []
+    for i, g in enumerate(graphs):
+        bm = g.bitmatrix() if hasattr(g, "bitmatrix") else g
+        feats.append(pattern_features(bm))
+        if labels is not None:
+            pats.append(labels[i])
+        else:
+            found = find_best_pattern(bm, max_iter=max_iter)
+            pats.append(found.pattern if found.succeeded else VNMPattern(1, 2, 4))
+    x = np.array(feats)
+    classes = sorted({(p.v, p.n, p.m) for p in pats})
+    class_patterns = [VNMPattern(*c) for c in classes]
+    class_index = {c: i for i, c in enumerate(classes)}
+    y = np.array([class_index[(p.v, p.n, p.m)] for p in pats])
+
+    mean = x.mean(axis=0)
+    std = np.where(x.std(axis=0) > 1e-9, x.std(axis=0), 1.0)
+    xn = np.concatenate([(x - mean) / std, np.ones((x.shape[0], 1))], axis=1)
+
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0.0, 0.01, size=(len(classes), xn.shape[1]))
+    onehot = np.zeros((x.shape[0], len(classes)))
+    onehot[np.arange(x.shape[0]), y] = 1.0
+    history = []
+    for _ in range(epochs):
+        p = _softmax_rows(xn @ w.T)
+        loss = -np.log(np.maximum(p[np.arange(x.shape[0]), y], 1e-12)).mean()
+        history.append(float(loss))
+        grad = (p - onehot).T @ xn / x.shape[0] + l2 * w
+        w -= lr * grad
+    pred = np.argmax(_softmax_rows(xn @ w.T), axis=1)
+    acc = float((pred == y).mean())
+    return PatternPredictor(
+        classes=class_patterns,
+        weights=w,
+        feature_mean=mean,
+        feature_std=std,
+        train_accuracy=acc,
+        history=history,
+    )

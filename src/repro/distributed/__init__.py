@@ -1,0 +1,24 @@
+"""Distributed/multi-GPU experiment substrate (paper §4.4 and §5.2)."""
+
+from .cluster import Cluster, ClusterRun
+from .multilevel import PartitionResult, multilevel_partition, partition_quality
+from .partition import (
+    RowPartition,
+    distributed_spmm,
+    edge_cut,
+    partition_rows,
+    reorder_partitions,
+)
+
+__all__ = [
+    "Cluster",
+    "ClusterRun",
+    "RowPartition",
+    "partition_rows",
+    "edge_cut",
+    "reorder_partitions",
+    "distributed_spmm",
+    "PartitionResult",
+    "multilevel_partition",
+    "partition_quality",
+]

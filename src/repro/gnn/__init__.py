@@ -1,0 +1,76 @@
+"""NumPy GNN stack: layers, models, training, and the framework shims."""
+
+from .attention import GATConv, edge_softmax, gat_aggregate_csr, gat_aggregate_venom
+from .functional import (
+    accuracy,
+    cross_entropy,
+    cross_entropy_grad,
+    dropout_mask,
+    log_softmax,
+    relu,
+    relu_grad,
+    softmax,
+)
+from .frameworks import (
+    FRAMEWORKS,
+    ForwardTiming,
+    FrameworkSpec,
+    PreparedSetting,
+    SETTINGS,
+    gnn_speedups,
+    make_device,
+    prepare_setting,
+    reorder_for_graph,
+    timed_forward,
+)
+from .layers import Aggregator, ChebConv, GCNConv, SAGEConv, SGConv
+from .linear import Linear, Parameter
+from .models import GCN, ChebNet, GNNModel, GraphSAGE, MODEL_NAMES, SGC, build_model
+from .optim import Adam, SGD
+from .training import TrainResult, evaluate, make_aggregator, train_node_classifier, train_sampled
+
+__all__ = [
+    "GATConv",
+    "edge_softmax",
+    "gat_aggregate_csr",
+    "gat_aggregate_venom",
+    "relu",
+    "relu_grad",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "accuracy",
+    "dropout_mask",
+    "Parameter",
+    "Linear",
+    "Aggregator",
+    "GCNConv",
+    "SAGEConv",
+    "ChebConv",
+    "SGConv",
+    "GNNModel",
+    "GCN",
+    "GraphSAGE",
+    "ChebNet",
+    "SGC",
+    "MODEL_NAMES",
+    "build_model",
+    "Adam",
+    "SGD",
+    "TrainResult",
+    "train_node_classifier",
+    "train_sampled",
+    "evaluate",
+    "make_aggregator",
+    "FRAMEWORKS",
+    "SETTINGS",
+    "FrameworkSpec",
+    "PreparedSetting",
+    "prepare_setting",
+    "reorder_for_graph",
+    "make_device",
+    "ForwardTiming",
+    "timed_forward",
+    "gnn_speedups",
+]

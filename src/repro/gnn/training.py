@@ -1,0 +1,172 @@
+"""Training and evaluation loops for node classification (Table 5 substrate)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..sptc.csr import CSRMatrix
+from .functional import accuracy, cross_entropy, cross_entropy_grad
+from .layers import Aggregator
+from .models import GNNModel, build_model
+from .optim import Adam
+
+__all__ = [
+    "make_aggregator",
+    "TrainResult",
+    "train_node_classifier",
+    "train_sampled",
+    "evaluate",
+]
+
+
+def make_aggregator(graph: Graph, kind: str, *, device=None) -> Aggregator:
+    """Build the graph operator a model family aggregates with.
+
+    ``kind='gcn'`` — symmetric Â = D^-1/2 (A+I) D^-1/2 (GCN / Cheb / SGC).
+    ``kind='mean'`` — row mean D⁻¹A with its transpose for backward (SAGE).
+    """
+    if kind == "gcn":
+        op = graph.csr(normalized=True, add_self_loops=True)
+        return Aggregator(op, device=device)
+    if kind == "mean":
+        rows, cols, data = graph.csr().to_coo()
+        deg = np.zeros(graph.n)
+        np.add.at(deg, rows, 1.0)
+        inv = np.where(deg > 0, 1.0 / np.maximum(deg, 1e-12), 0.0)
+        mean_op = CSRMatrix.from_coo(rows, cols, data * inv[rows], (graph.n, graph.n))
+        mean_op_t = CSRMatrix.from_coo(rows, cols, data * inv[cols], (graph.n, graph.n))
+        return Aggregator(mean_op, mean_op_t, device=device)
+    raise KeyError(f"unknown aggregator kind {kind!r}")
+
+
+def aggregator_kind_for(model_name: str) -> str:
+    return "mean" if model_name.lower() in ("sage", "graphsage") else "gcn"
+
+
+@dataclass
+class TrainResult:
+    """Final metrics and the training trace."""
+
+    model: GNNModel
+    train_accuracy: float
+    val_accuracy: float
+    test_accuracy: float
+    losses: list[float] = field(default_factory=list)
+
+
+def evaluate(model: GNNModel, graph: Graph, agg: Aggregator) -> dict[str, float]:
+    """Accuracy on the train/val/test splits with the given operator."""
+    logits = model.forward(graph.features, agg)
+    return {
+        "train": accuracy(logits, graph.labels, graph.train_mask),
+        "val": accuracy(logits, graph.labels, graph.val_mask),
+        "test": accuracy(logits, graph.labels, graph.test_mask),
+    }
+
+
+def train_node_classifier(
+    graph: Graph,
+    model_name: str,
+    *,
+    hidden: int = 64,
+    epochs: int = 60,
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    dropout: float = 0.0,
+    patience: int | None = None,
+    seed: int = 0,
+    model: GNNModel | None = None,
+    agg: Aggregator | None = None,
+) -> TrainResult:
+    """Full-batch Adam training of one model on one graph.
+
+    Deterministic for a fixed seed.  ``patience`` enables early stopping on
+    validation accuracy (training halts after that many epochs without
+    improvement; the best-validation parameters are restored).  An
+    externally-built ``model`` or aggregator can be supplied (e.g. to
+    evaluate the same trained weights under a different adjacency operator).
+    """
+    if graph.features is None or graph.labels is None:
+        raise ValueError("graph must carry features and labels")
+    n_classes = int(graph.labels.max()) + 1
+    if model is None:
+        model = build_model(model_name, graph.features.shape[1], hidden, n_classes, seed=seed)
+    if agg is None:
+        agg = make_aggregator(graph, aggregator_kind_for(model_name))
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    drop_rng = np.random.default_rng(seed + 1) if dropout > 0 else None
+    losses: list[float] = []
+    best_val = -1.0
+    best_params: list[np.ndarray] | None = None
+    stale = 0
+    for _ in range(epochs):
+        logits = model.forward(graph.features, agg, dropout=dropout, rng=drop_rng)
+        loss = cross_entropy(logits, graph.labels, graph.train_mask)
+        losses.append(loss)
+        model.zero_grad()
+        dlogits = cross_entropy_grad(logits, graph.labels, graph.train_mask)
+        model.backward(dlogits)
+        opt.step()
+        if patience is not None and graph.val_mask is not None:
+            val = accuracy(model.forward(graph.features, agg), graph.labels, graph.val_mask)
+            if val > best_val:
+                best_val = val
+                best_params = [p.value.copy() for p in model.parameters()]
+                stale = 0
+            else:
+                stale += 1
+                if stale >= patience:
+                    break
+    if best_params is not None:
+        for p, saved in zip(model.parameters(), best_params):
+            p.value[...] = saved
+    final = evaluate(model, graph, agg)
+    return TrainResult(model, final["train"], final["val"], final["test"], losses)
+
+
+def train_sampled(
+    graph: Graph,
+    model_name: str,
+    *,
+    hidden: int = 64,
+    epochs: int = 10,
+    batches_per_epoch: int = 4,
+    n_seeds: int = 64,
+    fanouts: tuple[int, ...] = (10, 10),
+    lr: float = 0.01,
+    weight_decay: float = 5e-4,
+    seed: int = 0,
+) -> TrainResult:
+    """Minibatch training over NeighborSampler subgraphs (paper §5.2 setup).
+
+    Each step draws a sampled subgraph, builds its aggregator, and applies
+    one full-batch update on the subgraph — the standard large-graph GNN
+    pipeline.  Final metrics are evaluated on the full graph.
+    """
+    from ..graphs.sampling import NeighborSampler
+
+    if graph.features is None or graph.labels is None:
+        raise ValueError("graph must carry features and labels")
+    n_classes = int(graph.labels.max()) + 1
+    model = build_model(model_name, graph.features.shape[1], hidden, n_classes, seed=seed)
+    opt = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    sampler = NeighborSampler(graph, list(fanouts), seed=seed)
+    kind = aggregator_kind_for(model_name)
+    losses: list[float] = []
+    for _ in range(epochs):
+        for _ in range(batches_per_epoch):
+            sub = sampler.sample(n_seeds)
+            if sub.n == 0 or sub.train_mask is None or not sub.train_mask.any():
+                continue
+            agg = make_aggregator(sub, kind)
+            logits = model.forward(sub.features, agg)
+            losses.append(cross_entropy(logits, sub.labels, sub.train_mask))
+            model.zero_grad()
+            model.backward(cross_entropy_grad(logits, sub.labels, sub.train_mask))
+            opt.step()
+    full_agg = make_aggregator(graph, kind)
+    final = evaluate(model, graph, full_agg)
+    return TrainResult(model, final["train"], final["val"], final["test"], losses)

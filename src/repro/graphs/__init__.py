@@ -1,0 +1,53 @@
+"""Graph substrate: container, generators, datasets, sampling, I/O, stats."""
+
+from .datasets import (
+    DatasetSpec,
+    OGBN_SAMPLE_SIZES,
+    TABLE2_DATASETS,
+    dataset_names,
+    load_dataset,
+)
+from .generators import (
+    SUITESPARSE_CLASSES,
+    SuiteSparseClassSpec,
+    banded_graph,
+    gnp_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    sbm_graph,
+    small_world_graph,
+    suitesparse_like_collection,
+)
+from .graph import Graph
+from .io import graph_from_mtx, graph_to_mtx, read_matrix_market, write_matrix_market
+from .sampling import NeighborSampler, sample_ogbn_like_subgraphs
+from .stats import collection_stats, estimate_diameter, graph_stats
+
+__all__ = [
+    "Graph",
+    "DatasetSpec",
+    "TABLE2_DATASETS",
+    "OGBN_SAMPLE_SIZES",
+    "load_dataset",
+    "dataset_names",
+    "SuiteSparseClassSpec",
+    "SUITESPARSE_CLASSES",
+    "suitesparse_like_collection",
+    "gnp_graph",
+    "sbm_graph",
+    "power_law_graph",
+    "banded_graph",
+    "grid_graph",
+    "rmat_graph",
+    "small_world_graph",
+    "NeighborSampler",
+    "sample_ogbn_like_subgraphs",
+    "read_matrix_market",
+    "write_matrix_market",
+    "graph_from_mtx",
+    "graph_to_mtx",
+    "graph_stats",
+    "collection_stats",
+    "estimate_diameter",
+]

@@ -1,0 +1,79 @@
+"""Graph population statistics (paper Table 1 columns)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["graph_stats", "collection_stats", "estimate_diameter"]
+
+
+def estimate_diameter(graph: Graph, *, n_sources: int = 4, seed: int = 0) -> int:
+    """Lower-bound diameter estimate via BFS from a few pseudo-peripheral roots.
+
+    Exact diameters are O(n·m); the double-sweep heuristic matches how large
+    collections are usually characterized.
+    """
+    if graph.n == 0:
+        return 0
+    csr = graph.csr()
+    indptr, indices = csr.indptr, csr.indices
+    rng = np.random.default_rng(seed)
+
+    def bfs_ecc(src: int) -> tuple[int, int]:
+        dist = -np.ones(graph.n, dtype=np.int64)
+        dist[src] = 0
+        frontier = np.array([src], dtype=np.int64)
+        level = 0
+        far = src
+        while frontier.size:
+            nxt = []
+            for v in frontier:
+                nbrs = indices[indptr[v] : indptr[v + 1]]
+                fresh = nbrs[dist[nbrs] < 0]
+                dist[fresh] = level + 1
+                nxt.append(fresh)
+            frontier = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, dtype=np.int64)
+            if frontier.size:
+                level += 1
+                far = int(frontier[0])
+        return level, far
+
+    best = 0
+    for _ in range(n_sources):
+        src = int(rng.integers(0, graph.n))
+        ecc, far = bfs_ecc(src)
+        ecc2, _ = bfs_ecc(far)  # double sweep from the farthest vertex
+        best = max(best, ecc, ecc2)
+    return best
+
+
+def graph_stats(graph: Graph, *, with_diameter: bool = False) -> dict:
+    """Per-graph statistics: the columns of the paper's Table 1."""
+    deg = graph.degrees()
+    out = {
+        "name": graph.name,
+        "n_vertices": graph.n,
+        "n_edges": graph.n_directed_edges,
+        "avg_degree": float(deg.mean()) if deg.size else 0.0,
+        "max_degree": int(deg.max(initial=0)),
+        "density": graph.density(),
+    }
+    if with_diameter:
+        out["diameter"] = estimate_diameter(graph)
+    return out
+
+
+def collection_stats(graphs: list[Graph], *, with_diameter: bool = False) -> dict:
+    """Avg/median rows of Table 1 for a graph population."""
+    rows = [graph_stats(g, with_diameter=with_diameter) for g in graphs]
+
+    def agg(key):
+        vals = np.array([r[key] for r in rows], dtype=np.float64)
+        return {"avg": float(vals.mean()), "med": float(np.median(vals))}
+
+    keys = ["n_vertices", "n_edges", "avg_degree", "max_degree"]
+    if with_diameter:
+        keys.append("diameter")
+    return {"n_graphs": len(rows), **{k: agg(k) for k in keys}}

@@ -1,0 +1,5 @@
+"""Lossy V:N:M magnitude pruning — the *revised-pruned* comparison baseline."""
+
+from .magnitude import PruneResult, magnitude_prune, prune_graph
+
+__all__ = ["PruneResult", "magnitude_prune", "prune_graph"]

@@ -1,0 +1,117 @@
+"""Emulated GPU device: functional execution plus a virtual clock.
+
+An :class:`EmulatedDevice` runs the numerically-exact kernels from
+:mod:`repro.sptc.spmm` while advancing a virtual clock by the cost-model time
+of each launch, so experiments measure "A100 time" deterministically.  The
+multi-GPU experiments (§5.2) instantiate several devices and take the
+makespan.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .costmodel import CostModel, SpmmWorkload
+from .csr import CSRMatrix
+from .hybrid import HybridVNM
+from .nm_format import NMCompressed
+from .spmm import csr_spmm, nm_spmm, venom_spmm
+from .venom import VNMCompressed
+
+__all__ = ["EmulatedDevice", "KernelRecord", "use_device", "active_device"]
+
+_ACTIVE_DEVICE: list["EmulatedDevice"] = []
+
+
+@contextmanager
+def use_device(device: "EmulatedDevice"):
+    """Make ``device`` the ambient compute device.
+
+    Dense layers and element-wise ops inside the scope charge their modelled
+    time to it, so end-to-end GNN forward times include the update phase.
+    """
+    _ACTIVE_DEVICE.append(device)
+    try:
+        yield device
+    finally:
+        _ACTIVE_DEVICE.pop()
+
+
+def active_device() -> "EmulatedDevice | None":
+    return _ACTIVE_DEVICE[-1] if _ACTIVE_DEVICE else None
+
+
+@dataclass
+class KernelRecord:
+    """One launched kernel: name, modelled seconds, and a tag for grouping."""
+
+    name: str
+    seconds: float
+    tag: str = ""
+
+
+@dataclass
+class EmulatedDevice:
+    """A single emulated GPU with its own virtual clock."""
+
+    cost_model: CostModel = field(default_factory=CostModel)
+    device_id: int = 0
+    clock: float = 0.0
+    records: list[KernelRecord] = field(default_factory=list)
+
+    def _launch(self, name: str, seconds: float, tag: str) -> None:
+        self.clock += seconds
+        self.records.append(KernelRecord(name, seconds, tag))
+
+    def reset(self) -> None:
+        self.clock = 0.0
+        self.records.clear()
+
+    def elapsed(self, tag: str | None = None) -> float:
+        if tag is None:
+            return self.clock
+        return sum(r.seconds for r in self.records if r.tag == tag)
+
+    # -- kernels ---------------------------------------------------------------
+    def spmm_csr(self, a: CSRMatrix, b: np.ndarray, *, tag: str = "spmm") -> np.ndarray:
+        wl = SpmmWorkload.from_csr(a, b.shape[1])
+        self._launch("csr_spmm", self.cost_model.time_csr_spmm(wl), tag)
+        return csr_spmm(a, b)
+
+    def spmm_venom(self, a: VNMCompressed, b: np.ndarray, *, tag: str = "spmm") -> np.ndarray:
+        self._launch("venom_spmm", self.cost_model.time_venom_spmm(a, b.shape[1]), tag)
+        return venom_spmm(a, b)
+
+    def spmm_nm(self, a: NMCompressed, b: np.ndarray, *, tag: str = "spmm") -> np.ndarray:
+        self._launch("nm_spmm", self.cost_model.time_nm_spmm(a, b.shape[1]), tag)
+        return nm_spmm(a, b)
+
+    def spmm_hybrid(self, a: HybridVNM, b: np.ndarray, *, tag: str = "spmm") -> np.ndarray:
+        self._launch("hybrid_spmm", a.model_time(self.cost_model, b.shape[1]), tag)
+        return a.spmm(b)
+
+    def spmm(self, a, b: np.ndarray, *, tag: str = "spmm") -> np.ndarray:
+        if isinstance(a, CSRMatrix):
+            return self.spmm_csr(a, b, tag=tag)
+        if isinstance(a, VNMCompressed):
+            return self.spmm_venom(a, b, tag=tag)
+        if isinstance(a, NMCompressed):
+            return self.spmm_nm(a, b, tag=tag)
+        if isinstance(a, HybridVNM):
+            return self.spmm_hybrid(a, b, tag=tag)
+        raise TypeError(f"unsupported sparse operand {type(a).__name__}")
+
+    def gemm(self, a: np.ndarray, b: np.ndarray, *, tensor_core: bool = True, tag: str = "gemm") -> np.ndarray:
+        m, k = a.shape
+        n = b.shape[1]
+        self._launch(
+            "dense_gemm", self.cost_model.time_dense_gemm(m, k, n, tensor_core=tensor_core), tag
+        )
+        return a @ b
+
+    def elementwise(self, x: np.ndarray, fn, *, tag: str = "elementwise") -> np.ndarray:
+        self._launch("elementwise", self.cost_model.time_elementwise(x.size), tag)
+        return fn(x)

@@ -1,0 +1,74 @@
+"""SDDMM — sampled dense-dense matrix multiplication.
+
+The second core sparse kernel of GNN frameworks (attention models like GAT
+compute per-edge scores ``S[i,j] = <Q[i], K[j]>`` only where an edge
+exists).  The paper optimizes SpMM; SDDMM is the natural companion and uses
+the same V:N:M structure: a conforming sparsity pattern lets the tile
+kernel compute V×k dense panels per meta-block instead of per-edge gathers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .venom import VNMCompressed
+
+__all__ = ["csr_sddmm", "venom_sddmm"]
+
+
+def csr_sddmm(pattern: CSRMatrix, q: np.ndarray, k: np.ndarray) -> CSRMatrix:
+    """Per-edge dot products on a CSR pattern: ``out[i,j] = <q[i], k[j]>``.
+
+    The baseline CUDA-core structure: one irregular gather pair per non-zero.
+    The stored values of ``pattern`` scale the result (pass ones for the pure
+    dot products).
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    if q.shape[0] != pattern.shape[0] or k.shape[0] != pattern.shape[1]:
+        raise ValueError("Q/K row counts must match the pattern shape")
+    if q.shape[1] != k.shape[1]:
+        raise ValueError("Q and K must share the feature dimension")
+    rows, cols, data = pattern.to_coo()
+    scores = np.einsum("ef,ef->e", q[rows], k[cols]) * data
+    return CSRMatrix(pattern.indptr.copy(), pattern.indices.copy(), scores, pattern.shape)
+
+
+def venom_sddmm(a: VNMCompressed, q: np.ndarray, k: np.ndarray) -> VNMCompressed:
+    """Tile-structured SDDMM: scores computed per meta-block panel.
+
+    For each stored tile, the kernel forms the V×k panel of dot products
+    between the tile's Q rows and its ≤k live K columns — dense tensor-core
+    shaped work — then keeps the slots the metadata selects.  Returns a new
+    compressed operand whose values are ``old_value * <q_row, k_col>``.
+    """
+    q = np.asarray(q, dtype=np.float64)
+    k = np.asarray(k, dtype=np.float64)
+    if q.shape[0] != a.shape[0] or k.shape[0] != a.shape[1]:
+        raise ValueError("Q/K row counts must match the operand shape")
+    if q.shape[1] != k.shape[1]:
+        raise ValueError("Q and K must share the feature dimension")
+    v = a.pattern.v
+    if a.n_tiles == 0:
+        return VNMCompressed(
+            a.pattern, a.shape, a.tile_ptr.copy(), a.tile_seg.copy(),
+            a.col_ids.copy(), a.values.copy(), a.meta.copy(), a.n_live_cols,
+        )
+    padded_k = np.zeros((max(k.shape[0], int(a.col_ids.max(initial=0)) + 1), k.shape[1]))
+    padded_k[: k.shape[0]] = k
+    padded_q = np.zeros((a.n_tile_rows * v, q.shape[1]))
+    padded_q[: q.shape[0]] = q
+
+    tile_rows = np.repeat(np.arange(a.n_tile_rows), np.diff(a.tile_ptr))
+    # Q panel per tile: (n_tiles, V, F); K panel per tile: (n_tiles, k, F).
+    q_rows = tile_rows[:, None] * v + np.arange(v)[None, :]
+    q_panel = padded_q[q_rows]                      # (T, V, F)
+    k_panel = padded_k[a.col_ids]                   # (T, k, F)
+    scores = np.einsum("tvf,tkf->tvk", q_panel, k_panel)  # dense panel per tile
+    picked = np.take_along_axis(scores, a.meta.astype(np.int64), axis=2)  # (T, V, N)
+    new_values = a.values * picked
+    return VNMCompressed(
+        a.pattern, a.shape, a.tile_ptr.copy(), a.tile_seg.copy(),
+        a.col_ids.copy(), new_values, a.meta.copy(), a.n_live_cols,
+    )

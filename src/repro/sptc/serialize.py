@@ -1,0 +1,66 @@
+"""On-disk persistence of preprocessing artefacts.
+
+The reordering is an offline step whose outputs get reused "repeatedly
+across many inferences" (paper §1/§4.4).  This module saves and loads those
+artefacts — the vertex permutation, the chosen pattern, and the compressed
+V:N:M operand — as a single ``.npz`` so a serving process never re-runs the
+search.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..core.patterns import VNMPattern
+from ..core.permutation import Permutation
+from .venom import VNMCompressed
+
+__all__ = ["save_preprocessed", "load_preprocessed"]
+
+_FORMAT_VERSION = 1
+
+
+def save_preprocessed(
+    path,
+    *,
+    operand: VNMCompressed,
+    permutation: Permutation | None = None,
+) -> None:
+    """Write a compressed operand (and optionally its permutation) to ``path``."""
+    arrays = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "pattern": np.array([operand.pattern.v, operand.pattern.n, operand.pattern.m, operand.pattern.k]),
+        "shape": np.array(operand.shape),
+        "tile_ptr": operand.tile_ptr,
+        "tile_seg": operand.tile_seg,
+        "col_ids": operand.col_ids,
+        "values": operand.values,
+        "meta": operand.meta,
+        "n_live_cols": np.array([operand.n_live_cols]),
+    }
+    if permutation is not None:
+        arrays["permutation"] = permutation.order
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_preprocessed(path) -> tuple[VNMCompressed, Permutation | None]:
+    """Inverse of :func:`save_preprocessed`."""
+    with np.load(Path(path)) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported preprocessed-file version {version}")
+        v, n, m, k = (int(x) for x in data["pattern"])
+        operand = VNMCompressed(
+            VNMPattern(v, n, m, k),
+            tuple(int(x) for x in data["shape"]),
+            data["tile_ptr"].copy(),
+            data["tile_seg"].copy(),
+            data["col_ids"].copy(),
+            data["values"].copy(),
+            data["meta"].copy(),
+            n_live_cols=int(data["n_live_cols"][0]),
+        )
+        perm = Permutation(data["permutation"].copy()) if "permutation" in data else None
+    return operand, perm

@@ -1,0 +1,54 @@
+"""SpMM kernels over the supported operand formats.
+
+All kernels are numerically exact and interchangeable; they differ in the
+*access structure* the cost model charges for:
+
+* :func:`csr_spmm` — cuSPARSE-style row-gather kernel on "CUDA cores": one
+  irregular gather of a B row per non-zero.
+* :func:`nm_spmm` / :func:`venom_spmm` — SPTC kernels: stream compressed
+  operands tile by tile through the (emulated) ``mma.sp`` pipeline.
+* :func:`dense_spmm` — dense reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRMatrix
+from .nm_format import NMCompressed
+from .venom import VNMCompressed
+
+__all__ = ["csr_spmm", "nm_spmm", "venom_spmm", "dense_spmm", "spmm"]
+
+
+def csr_spmm(a: CSRMatrix, b: np.ndarray) -> np.ndarray:
+    """Baseline CSR SpMM (cuSPARSE ``CSR_ALG2`` / torchsparse structure)."""
+    return a.matmat(b)
+
+
+def nm_spmm(a: NMCompressed, b: np.ndarray) -> np.ndarray:
+    """SPTC SpMM over the native N:M compressed operand."""
+    return a.spmm(b)
+
+
+def venom_spmm(a: VNMCompressed, b: np.ndarray) -> np.ndarray:
+    """Spatha-style SpMM over the V:N:M compressed operand."""
+    return a.spmm(b)
+
+
+def dense_spmm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense reference multiply."""
+    return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
+
+
+def spmm(a, b: np.ndarray) -> np.ndarray:
+    """Dispatch on operand type."""
+    if isinstance(a, CSRMatrix):
+        return csr_spmm(a, b)
+    if isinstance(a, NMCompressed):
+        return nm_spmm(a, b)
+    if isinstance(a, VNMCompressed):
+        return venom_spmm(a, b)
+    if isinstance(a, np.ndarray):
+        return dense_spmm(a, b)
+    raise TypeError(f"unsupported operand type {type(a).__name__}")

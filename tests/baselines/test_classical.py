@@ -1,0 +1,69 @@
+"""Classical reordering baselines."""
+
+import numpy as np
+
+from repro.baselines import bfs_order, degree_sort_order, random_order, rcm_order
+from repro.graphs import Graph
+
+
+class TestDegreeSort:
+    def test_descending(self, small_community_graph):
+        p = degree_sort_order(small_community_graph)
+        p.validate()
+        deg = small_community_graph.degrees()[p.order]
+        assert all(a >= b for a, b in zip(deg, deg[1:]))
+
+    def test_ascending(self, small_community_graph):
+        p = degree_sort_order(small_community_graph, descending=False)
+        deg = small_community_graph.degrees()[p.order]
+        assert all(a <= b for a, b in zip(deg, deg[1:]))
+
+
+class TestBFS:
+    def test_valid_and_connected_first(self):
+        g = Graph.from_edge_list(6, [[0, 1], [1, 2], [3, 4]])
+        p = bfs_order(g, source=0)
+        p.validate()
+        order = p.order.tolist()
+        # component {0,1,2} visited before {3,4} and isolated 5
+        assert order[:3] == [0, 1, 2]
+
+    def test_covers_all_vertices(self, small_community_graph):
+        p = bfs_order(small_community_graph)
+        p.validate()
+        assert len(p) == small_community_graph.n
+
+
+class TestRCM:
+    def test_valid(self, small_community_graph):
+        rcm_order(small_community_graph).validate()
+
+    def test_reduces_bandwidth_on_random_graph(self, rng):
+        # RCM should not increase the adjacency bandwidth of a path-like graph
+        # that has been randomly shuffled.
+        n = 60
+        base = Graph.from_edge_list(n, [[i, i + 1] for i in range(n - 1)])
+        shuffle = rng.permutation(n)
+        edges = np.stack([shuffle[base.edges[:, 0]], shuffle[base.edges[:, 1]]], axis=1)
+        g = Graph.from_edge_list(n, edges)
+
+        def bandwidth(graph, perm=None):
+            e = graph.edges
+            if perm is not None:
+                inv = perm.inverse().order
+                e = inv[e]
+            return int(np.abs(e[:, 0] - e[:, 1]).max())
+
+        p = rcm_order(g)
+        assert bandwidth(g, p) <= bandwidth(g)
+        assert bandwidth(g, p) <= 3  # a path relabels to near-optimal
+
+
+class TestRandom:
+    def test_valid_and_seeded(self, small_community_graph):
+        rng1 = np.random.default_rng(9)
+        rng2 = np.random.default_rng(9)
+        p1 = random_order(small_community_graph, rng1)
+        p2 = random_order(small_community_graph, rng2)
+        p1.validate()
+        assert p1 == p2

@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix
+from repro.graphs import Graph, load_dataset, sbm_graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_symmetric_dense(n: int, density: float, rng: np.random.Generator) -> np.ndarray:
+    """Random symmetric 0/1 matrix with an empty diagonal."""
+    a = rng.random((n, n)) < density
+    a = a | a.T
+    np.fill_diagonal(a, False)
+    return a.astype(np.uint8)
+
+
+@pytest.fixture
+def small_sym_dense(rng):
+    return random_symmetric_dense(64, 0.06, rng)
+
+
+@pytest.fixture
+def small_sym_bitmatrix(small_sym_dense):
+    return BitMatrix.from_dense(small_sym_dense)
+
+
+@pytest.fixture
+def weighted_sym_dense(rng):
+    """Random symmetric weighted matrix (values in (0, 1], empty diagonal)."""
+    mask = random_symmetric_dense(96, 0.05, rng)
+    w = np.triu(rng.random((96, 96)) + 0.05, 1) * np.triu(mask, 1)
+    return w + w.T
+
+
+@pytest.fixture
+def small_community_graph(rng) -> Graph:
+    g, blocks = sbm_graph(120, 4, 0.25, 0.01, rng, name="test-sbm")
+    g.labels = blocks.astype(np.int64)
+    return g
+
+
+@pytest.fixture(scope="session")
+def cora_like() -> Graph:
+    return load_dataset("cora", seed=7)

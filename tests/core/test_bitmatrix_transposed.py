@@ -1,0 +1,52 @@
+"""segment_values_t and the fast little-endian extraction paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix
+
+
+@pytest.mark.parametrize("m", [4, 8, 16, 32])
+@pytest.mark.parametrize("shape", [(64, 64), (10, 130), (3, 7)])
+def test_segment_values_t_matches_transpose(m, shape, rng):
+    a = (rng.random(shape) < 0.3).astype(np.uint8)
+    bm = BitMatrix.from_dense(a)
+    assert np.array_equal(bm.segment_values_t(m), bm.segment_values(m).T)
+
+
+@pytest.mark.parametrize("m", [4, 8, 16, 32, 64])
+def test_fast_paths_match_reference(m, rng):
+    """The view-based extraction must equal a bit-by-bit reference."""
+    a = (rng.random((16, 128)) < 0.4).astype(np.uint8)
+    bm = BitMatrix.from_dense(a)
+    vals = bm.segment_values(m)
+    n_segs = (128 + m - 1) // m
+    assert vals.shape == (16, n_segs)
+    for i in range(16):
+        for s in range(n_segs):
+            expect = 0
+            for j in range(m):
+                col = s * m + j
+                if col < 128 and a[i, col]:
+                    expect |= 1 << j
+            assert int(vals[i, s]) == expect, (i, s, m)
+
+
+def test_segment_values_t_contiguous(rng):
+    a = (rng.random((32, 32)) < 0.2).astype(np.uint8)
+    out = BitMatrix.from_dense(a).segment_values_t(4)
+    assert out.flags["C_CONTIGUOUS"]
+
+
+def test_nonzero_fast_path_sorted_and_complete(rng):
+    a = (rng.random((40, 200)) < 0.15).astype(np.uint8)
+    bm = BitMatrix.from_dense(a)
+    rows, cols = bm.nonzero()
+    rr, cc = np.nonzero(a)
+    assert np.array_equal(rows, rr)
+    assert np.array_equal(cols, cc)
+
+
+def test_nonzero_empty():
+    rows, cols = BitMatrix.zeros(5, 5).nonzero()
+    assert rows.size == 0 and cols.size == 0

@@ -1,0 +1,95 @@
+"""Bit-intrinsic ports (supplementary subroutines)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitops import (
+    bit_reverse,
+    deposit_field,
+    extract_field,
+    lowest_set_bit,
+    popcount64,
+    set_bit_positions,
+)
+
+words = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestPopcount:
+    @given(words)
+    def test_matches_python(self, x):
+        assert popcount64(x) == x.bit_count()
+
+    def test_vectorized(self, rng):
+        arr = rng.integers(0, 2**63, size=100, dtype=np.int64).astype(np.uint64)
+        assert np.array_equal(popcount64(arr), np.bitwise_count(arr))
+
+
+class TestBitReverse:
+    @given(words)
+    def test_involution(self, x):
+        assert bit_reverse(bit_reverse(x)) == x
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_width_8(self, x):
+        expect = int(f"{x:08b}"[::-1], 2)
+        assert bit_reverse(x, width=8) == expect
+
+    def test_vectorized(self, rng):
+        arr = rng.integers(0, 2**16, size=50).astype(np.uint64)
+        out = bit_reverse(arr, width=16)
+        for a, o in zip(arr, out):
+            assert int(o) == int(f"{int(a):016b}"[::-1], 2)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            bit_reverse(1, width=0)
+
+
+class TestFields:
+    @given(words, st.integers(0, 60), st.integers(1, 4))
+    def test_extract_matches_shift_mask(self, x, offset, width):
+        if offset + width > 64:
+            return
+        assert int(extract_field(np.uint64(x), offset, width)) == (x >> offset) & ((1 << width) - 1)
+
+    @given(words, st.integers(0, 15), st.integers(0, 56))
+    def test_deposit_then_extract(self, x, value, offset):
+        out = deposit_field(np.uint64(x), np.uint64(value), offset, 4)
+        assert int(extract_field(out, offset, 4)) == value & 0xF
+
+    def test_deposit_preserves_other_bits(self):
+        out = deposit_field(np.uint64(0xFFFFFFFFFFFFFFFF), np.uint64(0), 8, 8)
+        assert int(out) == 0xFFFFFFFFFFFF00FF
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            extract_field(np.uint64(0), 60, 8)
+        with pytest.raises(ValueError):
+            deposit_field(np.uint64(0), np.uint64(0), -1, 4)
+
+
+class TestLowestSetBit:
+    @given(words)
+    def test_matches_python(self, x):
+        expect = -1 if x == 0 else (x & -x).bit_length() - 1
+        assert lowest_set_bit(x) == expect
+
+    def test_vectorized(self):
+        arr = np.array([0, 1, 2, 12, 2**63], dtype=np.uint64)
+        assert lowest_set_bit(arr).tolist() == [-1, 0, 1, 2, 63]
+
+
+class TestSetBitPositions:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_reconstructs_word(self, x):
+        assert sum(1 << p for p in set_bit_positions(x)) == x
+
+    def test_width_filter(self):
+        assert set_bit_positions(0b10001, width=3) == [0]
+
+    def test_ascending(self):
+        pos = set_bit_positions(0b101010)
+        assert pos == sorted(pos)

@@ -1,0 +1,112 @@
+"""Hamming-distance order and position codes (paper §4.2 examples)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    cumulative_hamming_distance,
+    gray_code,
+    hamming_distance,
+    hamming_distance_order,
+    inverse_gray_code,
+    position_code,
+    position_codes,
+)
+
+
+class TestGrayCode:
+    def test_first_entries(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_adjacent_entries_differ_in_one_bit(self):
+        for i in range(255):
+            assert hamming_distance(gray_code(i), gray_code(i + 1)) == 1
+
+    def test_bijective_on_8_bits(self):
+        codes = {gray_code(i) for i in range(256)}
+        assert codes == set(range(256))
+
+    def test_inverse_roundtrip(self):
+        for i in range(512):
+            assert inverse_gray_code(gray_code(i)) == i
+
+    def test_vectorized_gray(self):
+        arr = np.arange(64, dtype=np.uint64)
+        out = gray_code(arr)
+        assert [int(x) for x in out] == [gray_code(int(i)) for i in range(64)]
+
+
+class TestHammingDistanceOrder:
+    def test_paper_example_2bit(self):
+        # Paper: the Hamming-distance order of 2-digit strings is {00,01,11,10}.
+        assert hamming_distance_order(2) == [0b00, 0b01, 0b11, 0b10]
+
+    def test_paper_example_cumulative_distance(self):
+        # {00,01,10,11} has cumulative distance 4; the optimal order has 3.
+        assert cumulative_hamming_distance([0b00, 0b01, 0b10, 0b11]) == 4
+        assert cumulative_hamming_distance(hamming_distance_order(2)) == 3
+
+    def test_order_is_minimal_among_permutations(self):
+        import itertools
+
+        best = min(
+            cumulative_hamming_distance(list(p))
+            for p in itertools.permutations(range(8))
+        )
+        assert cumulative_hamming_distance(hamming_distance_order(3)) == best
+
+    def test_contains_all_strings(self):
+        assert sorted(hamming_distance_order(4)) == list(range(16))
+
+    def test_lower_bound_met(self):
+        # Every adjacent pair differs by exactly one bit: distance 2^k - 1.
+        for k in range(1, 8):
+            assert cumulative_hamming_distance(hamming_distance_order(k)) == 2**k - 1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            hamming_distance_order(-1)
+
+
+class TestPositionCode:
+    def test_paper_example(self):
+        # Paper: the Hamming position code of 11 (2-bit) is 2.
+        assert position_code(0b11, 2) == 2
+
+    def test_rank_consistency(self):
+        order = hamming_distance_order(5)
+        for rank, value in enumerate(order):
+            assert position_code(value, 5) == rank
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            position_code(4, 2)
+        with pytest.raises(ValueError):
+            position_code(-1, 2)
+
+    def test_vectorized_matches_scalar(self):
+        for k in (2, 4, 8, 16, 32):
+            vals = np.arange(min(1 << k, 4096), dtype=np.uint64)
+            vec = position_codes(vals, k)
+            scal = np.array([position_code(int(v), k) for v in vals])
+            assert np.array_equal(vec, scal)
+
+    def test_vectorized_dtype_and_shape(self):
+        vals = np.arange(16, dtype=np.uint64).reshape(4, 4)
+        out = position_codes(vals, 4)
+        assert out.shape == (4, 4)
+        assert out.dtype == np.int64
+
+    def test_wide_codes_rejected(self):
+        with pytest.raises(ValueError):
+            position_codes(np.zeros(2, dtype=np.uint64), 64)
+
+
+class TestHammingDistance:
+    def test_basic(self):
+        assert hamming_distance(0b0011, 0b0111) == 1
+        assert hamming_distance(0, 0) == 0
+        assert hamming_distance(0b1010, 0b0101) == 4
+
+    def test_symmetry(self):
+        assert hamming_distance(37, 91) == hamming_distance(91, 37)

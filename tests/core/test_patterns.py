@@ -1,0 +1,115 @@
+"""N:M and V:N:M pattern validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix, NMPattern, VNMPattern
+
+
+class TestNMPattern:
+    def test_str(self):
+        assert str(NMPattern(2, 4)) == "2:4"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NMPattern(0, 4)
+        with pytest.raises(ValueError):
+            NMPattern(5, 4)
+        with pytest.raises(ValueError):
+            NMPattern(2, 128)
+
+    def test_vector_conforms(self):
+        p = NMPattern(2, 4)
+        assert p.vector_conforms(0b0000)
+        assert p.vector_conforms(0b0101)
+        assert not p.vector_conforms(0b0111)
+
+    def test_invalid_vector_mask(self):
+        a = np.zeros((2, 8), dtype=np.uint8)
+        a[0, :3] = 1          # 3 non-zeros in segment 0: violates 2:4
+        a[1, [0, 4]] = 1      # one per segment: fine
+        mask = NMPattern(2, 4).invalid_vector_mask(BitMatrix.from_dense(a))
+        assert mask.tolist() == [[True, False], [False, False]]
+
+    def test_count_and_conforms(self):
+        a = np.zeros((4, 4), dtype=np.uint8)
+        p = NMPattern(2, 4)
+        bm = BitMatrix.from_dense(a)
+        assert p.count_invalid_vectors(bm) == 0
+        assert p.matrix_conforms(bm)
+        a[0] = 1
+        bm = BitMatrix.from_dense(a)
+        assert p.count_invalid_vectors(bm) == 1
+        assert not p.matrix_conforms(bm)
+
+    def test_to_vnm(self):
+        v = NMPattern(2, 4).to_vnm(8)
+        assert (v.v, v.n, v.m, v.k) == (8, 2, 4, 4)
+
+
+class TestVNMPattern:
+    def test_str(self):
+        assert str(VNMPattern(16, 2, 16)) == "16:2:16"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            VNMPattern(0, 2, 4)
+        with pytest.raises(ValueError):
+            VNMPattern(1, 0, 4)
+        with pytest.raises(ValueError):
+            VNMPattern(1, 2, 4, k=1)
+
+    def test_nm_view(self):
+        assert VNMPattern(4, 2, 8).nm == NMPattern(2, 8)
+
+    def test_tile_column_masks(self):
+        a = np.zeros((4, 8), dtype=np.uint8)
+        a[0, 0] = a[1, 2] = a[2, 5] = 1
+        pat = VNMPattern(2, 2, 8)
+        masks = pat.tile_column_masks(BitMatrix.from_dense(a))
+        assert masks.shape == (2, 1)
+        assert int(masks[0, 0]) == 0b101      # cols 0 and 2
+        assert int(masks[1, 0]) == 0b100000   # col 5
+
+    def test_vertical_violations(self):
+        # 5 distinct live columns in one 2x8 tile violates k=4.
+        a = np.zeros((2, 8), dtype=np.uint8)
+        a[0, [0, 1, 2]] = 1
+        a[1, [3, 4]] = 1
+        pat = VNMPattern(2, 2, 8)
+        bm = BitMatrix.from_dense(a)
+        assert pat.count_vertical_violations(bm) == 1
+        a[1, 4] = 0
+        assert pat.count_vertical_violations(BitMatrix.from_dense(a)) == 0
+
+    def test_vertical_padding_rows(self):
+        # n_rows not divisible by V: trailing tile padded with zero rows.
+        a = np.zeros((3, 8), dtype=np.uint8)
+        a[2, [0, 1]] = 1
+        pat = VNMPattern(2, 2, 8)
+        assert pat.count_vertical_violations(BitMatrix.from_dense(a)) == 0
+
+    def test_tile_violation_mask_combines_both(self):
+        a = np.zeros((2, 8), dtype=np.uint8)
+        a[0, [0, 1, 2]] = 1  # horizontal violation (3 > N=2), only 3 cols live
+        pat = VNMPattern(2, 2, 8)
+        bm = BitMatrix.from_dense(a)
+        assert pat.count_vertical_violations(bm) == 0
+        assert pat.count_tile_violations(bm) == 1
+        assert not pat.matrix_conforms(bm)
+
+    def test_conforming_matrix(self):
+        a = np.zeros((4, 8), dtype=np.uint8)
+        a[:, 0] = 1
+        a[:, 3] = 1
+        pat = VNMPattern(4, 2, 8)
+        assert pat.matrix_conforms(BitMatrix.from_dense(a))
+
+    def test_nm_is_special_case_v1(self):
+        # With V=1 and N <= k the vertical constraint is implied.
+        rng = np.random.default_rng(0)
+        a = (rng.random((32, 32)) < 0.1).astype(np.uint8)
+        bm = BitMatrix.from_dense(a)
+        pat = VNMPattern(1, 2, 8)
+        horiz_ok = pat.nm.matrix_conforms(bm)
+        assert pat.matrix_conforms(bm) == horiz_ok

@@ -1,0 +1,90 @@
+"""Permutation algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core import Permutation
+
+
+class TestConstruction:
+    def test_identity(self):
+        p = Permutation.identity(5)
+        assert p.is_identity()
+        assert len(p) == 5
+
+    def test_from_swaps(self):
+        p = Permutation.from_swaps(4, [(0, 3)])
+        assert p.order.tolist() == [3, 1, 2, 0]
+
+    def test_from_overlapping_swaps_compose_in_order(self):
+        p = Permutation.from_swaps(3, [(0, 1), (1, 2)])
+        # after (0,1): [1,0,2]; after (1,2): [1,2,0]
+        assert p.order.tolist() == [1, 2, 0]
+
+    def test_random_is_valid(self):
+        p = Permutation.random(50, np.random.default_rng(0))
+        p.validate()
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            Permutation(np.zeros((2, 2), dtype=np.int64))
+
+    def test_validate_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([0, 0, 1])).validate()
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([0, 3])).validate()
+
+
+class TestAlgebra:
+    def test_inverse(self):
+        rng = np.random.default_rng(1)
+        p = Permutation.random(20, rng)
+        assert p.then(p.inverse()).is_identity()
+        assert p.inverse().then(p).is_identity()
+
+    def test_then_matches_sequential_application(self):
+        rng = np.random.default_rng(2)
+        p = Permutation.random(12, rng)
+        q = Permutation.random(12, rng)
+        x = rng.random(12)
+        seq = q.apply_to_vector(p.apply_to_vector(x))
+        combined = p.then(q).apply_to_vector(x)
+        assert np.allclose(seq, combined)
+
+    def test_then_size_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(3).then(Permutation.identity(4))
+
+    def test_matrix_application_matches_ix(self):
+        rng = np.random.default_rng(3)
+        p = Permutation.random(10, rng)
+        a = rng.random((10, 10))
+        assert np.allclose(p.apply_to_matrix(a), a[np.ix_(p.order, p.order)])
+
+    def test_matrix_application_preserves_symmetry(self):
+        rng = np.random.default_rng(4)
+        a = rng.random((16, 16))
+        a = a + a.T
+        p = Permutation.random(16, rng)
+        b = p.apply_to_matrix(a)
+        assert np.allclose(b, b.T)
+
+    def test_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(3).apply_to_matrix(np.zeros((4, 4)))
+
+    def test_new_index_of(self):
+        p = Permutation(np.array([2, 0, 1]))
+        # new row 0 holds old 2 => old 2 now lives at 0.
+        assert p.new_index_of(2) == 0
+        assert p.new_index_of(0) == 1
+
+    def test_equality_and_hash(self):
+        p = Permutation(np.array([1, 0]))
+        q = Permutation(np.array([1, 0]))
+        assert p == q
+        assert hash(p) == hash(q)
+        assert p != Permutation.identity(2)

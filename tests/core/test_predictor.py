@@ -1,0 +1,96 @@
+"""Best-pattern predictor (the paper's §5.3 future-work proposal)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FEATURE_NAMES,
+    BitMatrix,
+    VNMPattern,
+    pattern_features,
+    train_pattern_predictor,
+)
+
+
+def sparse_sym(n, density, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.random((n, n)) < density
+    a = (a | a.T).astype(np.uint8)
+    np.fill_diagonal(a, 0)
+    return BitMatrix.from_dense(a)
+
+
+class TestFeatures:
+    def test_shape_and_names(self):
+        f = pattern_features(sparse_sym(64, 0.05, 0))
+        assert f.shape == (len(FEATURE_NAMES),)
+        assert np.isfinite(f).all()
+
+    def test_density_feature_monotone(self):
+        f_sparse = pattern_features(sparse_sym(64, 0.01, 1))
+        f_dense = pattern_features(sparse_sym(64, 0.2, 1))
+        assert f_dense[1] > f_sparse[1]  # log_density
+
+    def test_empty_matrix(self):
+        f = pattern_features(BitMatrix.zeros(16, 16))
+        assert np.isfinite(f).all()
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def toy_population(self):
+        """Two clearly-separable families: dense (best M=4) vs sparse (M=16)."""
+        mats, labels = [], []
+        for seed in range(14):
+            mats.append(sparse_sym(64, 0.12, seed))
+            labels.append(VNMPattern(1, 2, 4))
+            mats.append(sparse_sym(64, 0.01, 100 + seed))
+            labels.append(VNMPattern(1, 2, 16))
+        return mats, labels
+
+    def test_separable_families_learned(self, toy_population):
+        mats, labels = toy_population
+        model = train_pattern_predictor(mats, labels=labels, seed=0)
+        assert model.train_accuracy > 0.9
+
+    def test_loss_decreases(self, toy_population):
+        mats, labels = toy_population
+        model = train_pattern_predictor(mats, labels=labels, seed=0)
+        assert model.history[-1] < model.history[0]
+
+    def test_predict_returns_known_class(self, toy_population):
+        mats, labels = toy_population
+        model = train_pattern_predictor(mats, labels=labels, seed=0)
+        pred = model.predict(sparse_sym(64, 0.15, 999))
+        assert (pred.v, pred.n, pred.m) in {(p.v, p.n, p.m) for p in model.classes}
+
+    def test_generalizes_to_held_out(self, toy_population):
+        mats, labels = toy_population
+        model = train_pattern_predictor(mats, labels=labels, seed=0)
+        hits = 0
+        for seed in range(20, 26):
+            if model.predict(sparse_sym(64, 0.12, seed)).m == 4:
+                hits += 1
+            if model.predict(sparse_sym(64, 0.01, 200 + seed)).m == 16:
+                hits += 1
+        assert hits >= 9  # of 12
+
+    def test_proba_sums_to_one(self, toy_population):
+        mats, labels = toy_population
+        model = train_pattern_predictor(mats, labels=labels, seed=0)
+        p = model.predict_proba(mats[0])
+        assert p.sum() == pytest.approx(1.0)
+        assert (p >= 0).all()
+
+    def test_top_k(self, toy_population):
+        mats, labels = toy_population
+        model = train_pattern_predictor(mats, labels=labels, seed=0)
+        top2 = model.predict_top_k(mats[0], k=2)
+        assert len(top2) == min(2, len(model.classes))
+        assert top2[0] == model.predict(mats[0])
+
+    def test_search_labelled_training_runs(self):
+        # End-to-end: small population labelled by the actual search.
+        mats = [sparse_sym(48, d, s) for s, d in enumerate([0.02, 0.05, 0.1, 0.15])]
+        model = train_pattern_predictor(mats, max_iter=3, epochs=100)
+        assert model.classes

@@ -1,0 +1,75 @@
+"""PScore, MBScore and improvement-rate metrics."""
+
+import numpy as np
+
+from repro.core import (
+    BitMatrix,
+    NMPattern,
+    VNMPattern,
+    conformity_report,
+    improvement_rate,
+    mbscore,
+    pscore_per_segment,
+    total_pscore,
+)
+
+
+class TestPScore:
+    def test_per_segment(self):
+        a = np.zeros((3, 8), dtype=np.uint8)
+        a[0, :3] = 1      # segment 0 violated
+        a[1, 4:7] = 1     # segment 1 violated
+        a[2, :2] = 1      # fine
+        ps = pscore_per_segment(BitMatrix.from_dense(a), NMPattern(2, 4))
+        assert ps.tolist() == [1, 1]
+
+    def test_total_matches_sum(self, small_sym_bitmatrix):
+        pat = NMPattern(2, 4)
+        assert total_pscore(small_sym_bitmatrix, pat) == int(
+            pscore_per_segment(small_sym_bitmatrix, pat).sum()
+        )
+
+    def test_zero_for_empty(self):
+        assert total_pscore(BitMatrix.zeros(8, 8), NMPattern(1, 4)) == 0
+
+
+class TestMBScore:
+    def test_counts_vertical_only(self):
+        a = np.zeros((2, 8), dtype=np.uint8)
+        a[0, :3] = 1   # horizontal violation but only 3 live columns
+        pat = VNMPattern(2, 2, 8)
+        assert mbscore(BitMatrix.from_dense(a), pat) == 0
+
+    def test_counts_violating_tiles(self):
+        a = np.zeros((4, 8), dtype=np.uint8)
+        a[0, [0, 1, 2, 3, 4]] = 1
+        pat = VNMPattern(2, 2, 8)
+        assert mbscore(BitMatrix.from_dense(a), pat) == 1
+
+
+class TestImprovementRate:
+    def test_full_removal(self):
+        assert improvement_rate(100, 0) == 1.0
+
+    def test_partial(self):
+        assert improvement_rate(100, 25) == 0.75
+
+    def test_no_initial_violations(self):
+        assert improvement_rate(0, 0) == 1.0
+        assert improvement_rate(0, 5) == 0.0
+
+
+class TestConformityReport:
+    def test_fields(self, small_sym_bitmatrix):
+        rep = conformity_report(small_sym_bitmatrix, VNMPattern(1, 2, 4))
+        assert set(rep) == {
+            "pattern",
+            "invalid_segment_vectors",
+            "mbscore",
+            "tile_violations",
+            "conforms",
+            "nnz",
+            "density",
+        }
+        assert rep["pattern"] == "1:2:4"
+        assert rep["nnz"] == small_sym_bitmatrix.nnz()

@@ -1,0 +1,114 @@
+"""Stage-1 Hamming-position reordering (Alg. 2)."""
+
+import numpy as np
+
+from repro.core import (
+    BitMatrix,
+    VNMPattern,
+    encode_rows,
+    lexicographic_row_order,
+    mbscore,
+    stage1_reorder,
+)
+
+
+def figure3_matrix() -> np.ndarray:
+    """A matrix in the spirit of the paper's Figure 3: two interleaved
+    communities whose rows have similar non-zero positions, scattered so
+    every 4×8 meta-block mixes both communities and violates the vertical
+    constraint until sorting by Hamming position code separates them."""
+    n = 16
+    a = np.zeros((n, n), dtype=np.uint8)
+    even = list(range(0, n, 2))
+    odd = list(range(1, n, 2))
+    for community in (even, odd):
+        for x, y in zip(community, community[1:]):
+            a[x, y] = a[y, x] = 1
+    return a
+
+
+class TestEncodeRows:
+    def test_codes_are_position_codes(self):
+        from repro.core import position_code
+
+        a = np.zeros((2, 8), dtype=np.uint8)
+        a[0, [0, 1]] = 1  # bits 0b11 in segment 0
+        codes = encode_rows(BitMatrix.from_dense(a), VNMPattern(1, 2, 8))
+        assert int(codes[0, 0]) == position_code(0b11, 8)
+
+    def test_invalid_vector_negated(self):
+        a = np.zeros((1, 8), dtype=np.uint8)
+        a[0, [0, 1, 2]] = 1  # three non-zeros: violates 2:8
+        codes = encode_rows(BitMatrix.from_dense(a), VNMPattern(1, 2, 8))
+        assert int(codes[0, 0]) < 0
+
+    def test_taint_disabled(self):
+        a = np.zeros((1, 8), dtype=np.uint8)
+        a[0, [0, 1, 2]] = 1
+        codes = encode_rows(
+            BitMatrix.from_dense(a), VNMPattern(1, 2, 8), taint_invalid=False
+        )
+        assert int(codes[0, 0]) > 0
+
+    def test_narrow_dtype(self):
+        bm = BitMatrix.zeros(4, 16)
+        assert encode_rows(bm, VNMPattern(1, 2, 4)).dtype == np.int8
+        assert encode_rows(bm, VNMPattern(1, 2, 8)).dtype == np.int16
+
+
+class TestLexicographicSort:
+    def test_matches_python_sort(self, rng):
+        codes = rng.integers(-10, 10, size=(40, 5)).astype(np.int16)
+        order = lexicographic_row_order(codes)
+        expect = sorted(range(40), key=lambda i: tuple(codes[i]))
+        assert order.tolist() == expect
+
+    def test_stable(self):
+        codes = np.zeros((6, 3), dtype=np.int8)
+        order = lexicographic_row_order(codes)
+        assert order.tolist() == list(range(6))
+
+    def test_negative_codes_sort_first(self):
+        codes = np.array([[5], [-3], [0]], dtype=np.int8)
+        assert lexicographic_row_order(codes).tolist() == [1, 2, 0]
+
+
+class TestStage1Reorder:
+    def test_reduces_mbscore_on_figure3_style_input(self):
+        bm = BitMatrix.from_dense(figure3_matrix())
+        pat = VNMPattern(4, 2, 8, k=4)
+        before = mbscore(bm, pat)
+        assert before == 4
+        res = stage1_reorder(bm, pat)
+        assert res.final_mbscore == 0
+        assert res.mbscore_history[0] == before
+
+    def test_result_is_symmetric_permutation_of_input(self, small_sym_bitmatrix):
+        pat = VNMPattern(4, 2, 8)
+        res = stage1_reorder(small_sym_bitmatrix, pat)
+        res.permutation.validate()
+        expect = small_sym_bitmatrix.permute_symmetric(res.permutation.order)
+        assert res.matrix == expect
+        assert res.matrix.is_symmetric()
+
+    def test_mbscore_never_increases_along_history(self, small_sym_bitmatrix):
+        res = stage1_reorder(small_sym_bitmatrix, VNMPattern(4, 2, 8))
+        hist = res.mbscore_history
+        assert all(b <= a for a, b in zip(hist, hist[1:]))
+
+    def test_max_iter_respected(self, small_sym_bitmatrix):
+        res = stage1_reorder(small_sym_bitmatrix, VNMPattern(4, 2, 8), max_iter=1)
+        assert res.iterations <= 1
+
+    def test_noop_on_conforming(self):
+        a = np.zeros((8, 8), dtype=np.uint8)
+        a[:, 0] = 1
+        pat = VNMPattern(4, 2, 8)
+        res = stage1_reorder(BitMatrix.from_dense(a), pat)
+        assert res.iterations == 0
+        assert res.permutation.is_identity()
+
+    def test_input_not_mutated(self, small_sym_bitmatrix):
+        snapshot = small_sym_bitmatrix.copy()
+        stage1_reorder(small_sym_bitmatrix, VNMPattern(4, 2, 8))
+        assert small_sym_bitmatrix == snapshot

@@ -1,0 +1,99 @@
+"""Stage-2 greedy swap reordering (Alg. 3)."""
+
+import numpy as np
+
+from repro.core import (
+    BitMatrix,
+    NMPattern,
+    plan_swaps,
+    stage2_reorder,
+    total_pscore,
+)
+
+
+def figure1_matrix() -> np.ndarray:
+    """A matrix with one fixable 2:4 violation, like the paper's Figure 1:
+    a row has 3 non-zeros in one segment and a neighbouring segment has room."""
+    a = np.zeros((8, 8), dtype=np.uint8)
+    a[6, [0, 2, 3]] = 1   # violates 2:4 in segment 0
+    a[0, 6] = 1
+    # keep it symmetric
+    a = np.maximum(a, a.T)
+    return a
+
+
+class TestPlanSwaps:
+    def test_swaps_are_disjoint(self, small_sym_bitmatrix):
+        swaps = plan_swaps(small_sym_bitmatrix, NMPattern(2, 4))
+        used = [v for pair in swaps for v in pair]
+        assert len(used) == len(set(used))
+
+    def test_swaps_within_bounds(self, small_sym_bitmatrix):
+        swaps = plan_swaps(small_sym_bitmatrix, NMPattern(2, 4))
+        n = small_sym_bitmatrix.n_rows
+        assert all(0 <= u < n and 0 <= v < n for u, v in swaps)
+
+    def test_no_swaps_when_conforming(self):
+        a = np.zeros((8, 8), dtype=np.uint8)
+        a[0, 4] = a[4, 0] = 1
+        assert plan_swaps(BitMatrix.from_dense(a), NMPattern(2, 4)) == []
+
+    def test_applying_planned_swaps_reduces_pscore(self, small_sym_bitmatrix):
+        pat = NMPattern(2, 4)
+        before = total_pscore(small_sym_bitmatrix, pat)
+        swaps = plan_swaps(small_sym_bitmatrix, pat)
+        after_m = small_sym_bitmatrix.apply_swaps_symmetric(swaps)
+        assert total_pscore(after_m, pat) < before
+
+
+class TestStage2Reorder:
+    def test_fixes_figure1_style_violation(self):
+        bm = BitMatrix.from_dense(figure1_matrix())
+        pat = NMPattern(2, 4)
+        assert total_pscore(bm, pat) > 0
+        res = stage2_reorder(bm, pat)
+        assert res.final_pscore == 0
+
+    def test_result_matches_permutation(self, small_sym_bitmatrix):
+        pat = NMPattern(2, 4)
+        res = stage2_reorder(small_sym_bitmatrix, pat)
+        res.permutation.validate()
+        assert res.matrix == small_sym_bitmatrix.permute_symmetric(res.permutation.order)
+
+    def test_pscore_drops(self, small_sym_bitmatrix):
+        pat = NMPattern(2, 4)
+        res = stage2_reorder(small_sym_bitmatrix, pat)
+        assert res.final_pscore < res.initial_pscore
+
+    def test_returned_matrix_is_best_seen(self, small_sym_bitmatrix):
+        pat = NMPattern(2, 4)
+        res = stage2_reorder(small_sym_bitmatrix, pat)
+        assert total_pscore(res.matrix, pat) == res.final_pscore
+
+    def test_symmetry_preserved(self, small_sym_bitmatrix):
+        res = stage2_reorder(small_sym_bitmatrix, NMPattern(2, 4))
+        assert res.matrix.is_symmetric()
+
+    def test_max_iter_zero_is_noop(self, small_sym_bitmatrix):
+        res = stage2_reorder(small_sym_bitmatrix, NMPattern(2, 4), max_iter=0)
+        assert res.permutation.is_identity()
+        assert res.iterations == 0
+
+    def test_require_positive_gain_mode_runs(self, small_sym_bitmatrix):
+        pat = NMPattern(2, 4)
+        res = stage2_reorder(small_sym_bitmatrix, pat, require_positive_gain=True)
+        assert res.final_pscore <= res.initial_pscore
+
+    def test_input_not_mutated(self, small_sym_bitmatrix):
+        snapshot = small_sym_bitmatrix.copy()
+        stage2_reorder(small_sym_bitmatrix, NMPattern(2, 4))
+        assert small_sym_bitmatrix == snapshot
+
+    def test_wide_segments(self, rng):
+        a = (rng.random((64, 64)) < 0.12).astype(np.uint8)
+        a = np.maximum(a, a.T)
+        np.fill_diagonal(a, 0)
+        bm = BitMatrix.from_dense(a)
+        pat = NMPattern(2, 16)
+        res = stage2_reorder(bm, pat)
+        assert res.final_pscore <= res.initial_pscore

@@ -1,0 +1,117 @@
+"""Stage-2 hardening: excess gains, harmful-swap rejection, hub-row spill.
+
+These cover the reproduction's documented deviations (DESIGN.md §6, items
+2–3) — behaviours the paper's pseudo-code leaves open and that matter on
+hub-heavy matrices.
+"""
+
+import numpy as np
+
+from repro.core import BitMatrix, NMPattern, VNMPattern, reorder, total_pscore
+from repro.core.stage2 import _WorkingState, plan_swaps, stage2_reorder
+
+
+def hub_matrix(n=256, hub_degree=96, seed=0):
+    """A symmetric matrix with one hub row whose neighbours are clustered so
+    several 4-wide segments hold 3-4 of them."""
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n, n), dtype=np.uint8)
+    hub = 0
+    neighbours = rng.choice(np.arange(1, n // 2), size=hub_degree, replace=False)
+    a[hub, neighbours] = 1
+    a[neighbours, hub] = 1
+    extra = rng.random((n, n)) < 0.005
+    a = np.maximum(a, (extra | extra.T).astype(np.uint8))
+    np.fill_diagonal(a, 0)
+    return a
+
+
+class TestExcessGain:
+    def test_pair_gains_returns_three_matrices(self, small_sym_bitmatrix):
+        state = _WorkingState(small_sym_bitmatrix, NMPattern(2, 4))
+        gp, gt, ge = state.pair_gains(0, 1)
+        assert gp.shape == gt.shape == ge.shape == (4, 4)
+
+    def test_excess_gain_signs(self):
+        # One row with 3 non-zeros in segment 0 and empty segment 1: moving a
+        # non-zero out lowers the excess by one.
+        a = np.zeros((4, 8), dtype=np.uint8)
+        a[0, [0, 1, 2]] = 1
+        state = _WorkingState(BitMatrix.from_dense(a), NMPattern(2, 4))
+        gp, gt, ge = state.pair_gains(0, 1)
+        # swapping col 0 (occupied) with col 4 (empty): fixes p (+1 pscore)
+        assert gp[0, 0] == 1
+        assert ge[0, 0] == 1
+
+    def test_seg_nnz_tracked_incrementally(self):
+        a = np.zeros((4, 8), dtype=np.uint8)
+        a[0, [0, 1, 2]] = 1
+        state = _WorkingState(BitMatrix.from_dense(a), NMPattern(2, 4))
+        before = state.segment_nnz().copy()
+        state.apply_swap(0, 0, 1, 0)  # move col 0 <-> col 4
+        after = state.segment_nnz()
+        assert after[0] == before[0] - 1
+        assert after[1] == before[1] + 1
+
+
+class TestNoHarmfulSwaps:
+    def test_planned_batches_never_increase_pscore(self, rng):
+        pat = NMPattern(2, 4)
+        for seed in range(5):
+            r = np.random.default_rng(seed)
+            a = (r.random((96, 96)) < 0.08)
+            a = (a | a.T).astype(np.uint8)
+            np.fill_diagonal(a, 0)
+            bm = BitMatrix.from_dense(a)
+            before = total_pscore(bm, pat)
+            swaps = plan_swaps(bm, pat)
+            after = total_pscore(bm.apply_swaps_symmetric(swaps), pat)
+            assert after <= before, seed
+
+    def test_no_oscillation_across_passes(self):
+        # Repeated passes must be monotone non-increasing on the hub matrix
+        # (the literal freshtop rule oscillates here).
+        from repro.core.permutation import Permutation
+
+        pat = NMPattern(2, 4)
+        cur = BitMatrix.from_dense(hub_matrix())
+        scores = [total_pscore(cur, pat)]
+        for _ in range(6):
+            swaps = plan_swaps(cur, pat)
+            if not swaps:
+                break
+            cur = cur.permute_symmetric(Permutation.from_swaps(cur.n_rows, swaps).order)
+            scores.append(total_pscore(cur, pat))
+        assert all(b <= a for a, b in zip(scores, scores[1:])), scores
+
+
+class TestHubSpill:
+    def test_hub_matrix_fully_fixed(self):
+        bm = BitMatrix.from_dense(hub_matrix())
+        res = reorder(bm, VNMPattern(1, 2, 4), max_iter=10)
+        assert res.initial_invalid_vectors > 0
+        assert res.improvement_rate > 0.95
+
+    def test_stage2_alone_handles_hub(self):
+        bm = BitMatrix.from_dense(hub_matrix(seed=3))
+        res = stage2_reorder(bm, NMPattern(2, 4), max_iter=10)
+        assert res.final_pscore < res.initial_pscore * 0.3
+
+
+class TestTimeBudget:
+    def test_budget_respected(self):
+        import time
+
+        bm = BitMatrix.from_dense(hub_matrix(n=512, hub_degree=200, seed=1))
+        t0 = time.perf_counter()
+        res = reorder(bm, VNMPattern(1, 2, 4), max_iter=10, time_budget=0.2)
+        elapsed = time.perf_counter() - t0
+        # The budget stops between passes, so allow one pass of slack.
+        assert elapsed < 5.0
+        assert res.final_invalid_vectors <= res.initial_invalid_vectors
+
+    def test_zero_budget_is_noop_but_valid(self):
+        bm = BitMatrix.from_dense(hub_matrix(seed=2))
+        res = reorder(bm, VNMPattern(1, 2, 4), time_budget=0.0)
+        res.permutation.validate()
+        assert res.final_invalid_vectors <= res.initial_invalid_vectors

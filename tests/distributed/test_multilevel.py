@@ -1,0 +1,97 @@
+"""Multilevel graph partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import edge_cut, partition_rows
+from repro.distributed.multilevel import (
+    PartitionResult,
+    multilevel_partition,
+    partition_quality,
+)
+from repro.graphs import Graph, grid_graph, sbm_graph
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    rng = np.random.default_rng(2)
+    g, blocks = sbm_graph(400, 4, 0.12, 0.004, rng)
+    return g, blocks
+
+
+class TestPartitionQuality:
+    def test_zero_cut_on_disconnected(self):
+        g = Graph.from_edge_list(6, [[0, 1], [2, 3], [4, 5]])
+        assignment = np.array([0, 0, 1, 1, 2, 2])
+        cut, imb = partition_quality(g, assignment, 3)
+        assert cut == 0
+        assert imb == pytest.approx(0.0)
+
+    def test_full_cut(self):
+        g = Graph.from_edge_list(4, [[0, 2], [1, 3]])
+        assignment = np.array([0, 0, 1, 1])
+        cut, _ = partition_quality(g, assignment, 2)
+        assert cut == 2
+
+
+class TestMultilevelPartition:
+    def test_balanced(self, community_graph):
+        g, _ = community_graph
+        res = multilevel_partition(g, 4, seed=0)
+        assert res.imbalance < 0.25
+        assert res.part_sizes().sum() == g.n
+
+    def test_assignment_complete(self, community_graph):
+        g, _ = community_graph
+        res = multilevel_partition(g, 4, seed=0)
+        assert res.assignment.shape == (g.n,)
+        assert set(np.unique(res.assignment)) <= set(range(4))
+
+    def test_beats_random_on_community_graph(self, community_graph):
+        g, _ = community_graph
+        res = multilevel_partition(g, 4, seed=0)
+        rng = np.random.default_rng(0)
+        random_cut, _ = partition_quality(g, rng.integers(0, 4, size=g.n), 4)
+        assert res.edge_cut < random_cut * 0.7
+
+    def test_recovers_planted_communities_mostly(self, community_graph):
+        g, blocks = community_graph
+        res = multilevel_partition(g, 4, seed=0)
+        # Majority label of each part should differ (parts align to blocks).
+        majorities = set()
+        for p in range(4):
+            members = res.assignment == p
+            if members.any():
+                majorities.add(int(np.bincount(blocks[members]).argmax()))
+        assert len(majorities) >= 3
+
+    def test_better_than_contiguous_blocking_on_shuffled_grid(self, rng):
+        g = grid_graph(20)
+        perm = rng.permutation(g.n)
+        shuffled = Graph.from_edge_list(g.n, perm[g.edges])
+        res = multilevel_partition(shuffled, 4, seed=1)
+        blocked_cut = edge_cut(shuffled, partition_rows(shuffled.n, 4))
+        assert res.edge_cut < blocked_cut
+
+    def test_single_part(self, community_graph):
+        g, _ = community_graph
+        res = multilevel_partition(g, 1)
+        assert res.edge_cut == 0
+        assert (res.assignment == 0).all()
+
+    def test_tiny_graph(self):
+        g = Graph.from_edge_list(3, [[0, 1]])
+        res = multilevel_partition(g, 2)
+        assert isinstance(res, PartitionResult)
+        assert res.assignment.shape == (3,)
+
+    def test_deterministic(self, community_graph):
+        g, _ = community_graph
+        a = multilevel_partition(g, 4, seed=5)
+        b = multilevel_partition(g, 4, seed=5)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_invalid_parts(self, community_graph):
+        g, _ = community_graph
+        with pytest.raises(ValueError):
+            multilevel_partition(g, 0)

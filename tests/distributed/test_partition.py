@@ -1,0 +1,59 @@
+"""Row partitioning and per-partition reordering (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VNMPattern
+from repro.distributed import edge_cut, partition_rows, reorder_partitions
+from repro.graphs import Graph
+
+
+class TestPartitionRows:
+    def test_balanced(self):
+        parts = partition_rows(100, 4)
+        assert [p.size for p in parts] == [25, 25, 25, 25]
+        assert parts[0].start == 0 and parts[-1].stop == 100
+
+    def test_uneven(self):
+        parts = partition_rows(10, 3)
+        assert sum(p.size for p in parts) == 10
+        assert max(p.size for p in parts) - min(p.size for p in parts) <= 1
+
+    def test_single(self):
+        parts = partition_rows(7, 1)
+        assert parts[0].size == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            partition_rows(4, 0)
+
+
+class TestEdgeCut:
+    def test_no_cut_within_partition(self):
+        g = Graph.from_edge_list(8, [[0, 1], [2, 3], [4, 5], [6, 7]])
+        assert edge_cut(g, partition_rows(8, 4)) == 0
+
+    def test_all_cut(self):
+        g = Graph.from_edge_list(8, [[0, 4], [1, 5], [2, 6], [3, 7]])
+        assert edge_cut(g, partition_rows(8, 2)) == 4
+
+
+class TestReorderPartitions:
+    def test_permutation_stays_within_partitions(self, small_community_graph):
+        n_parts = 4
+        perm, results = reorder_partitions(small_community_graph, n_parts, VNMPattern(1, 2, 4), max_iter=3)
+        perm.validate()
+        parts = partition_rows(small_community_graph.n, n_parts)
+        for p in parts:
+            segment = perm.order[p.start : p.stop]
+            assert segment.min() >= p.start and segment.max() < p.stop
+
+    def test_local_blocks_improve(self, small_community_graph):
+        _, results = reorder_partitions(small_community_graph, 2, VNMPattern(1, 2, 4), max_iter=5)
+        for r in results:
+            assert r.final_invalid_vectors <= r.initial_invalid_vectors
+
+    def test_global_relabel_preserves_graph(self, small_community_graph):
+        perm, _ = reorder_partitions(small_community_graph, 2, VNMPattern(1, 2, 4), max_iter=2)
+        g2 = small_community_graph.relabel(perm)
+        assert g2.n_edges == small_community_graph.n_edges

@@ -1,0 +1,90 @@
+"""Attention aggregation extension (SDDMM → edge softmax → SpMM)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix, VNMPattern, reorder
+from repro.gnn.attention import (
+    GATConv,
+    edge_softmax,
+    gat_aggregate_csr,
+    gat_aggregate_venom,
+)
+from repro.sptc import CSRMatrix, HybridVNM
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(12)
+    n = 96
+    mask = rng.random((n, n)) < 0.05
+    mask |= mask.T
+    np.fill_diagonal(mask, False)
+    res = reorder(BitMatrix.from_dense(mask.astype(np.uint8)), VNMPattern(1, 2, 4))
+    structure = res.matrix.to_dense().astype(np.float64)
+    csr = CSRMatrix.from_dense(structure)
+    venom = HybridVNM.compress_csr(csr, VNMPattern(1, 2, 4)).main
+    x = rng.random((n, 12))
+    return structure, csr, venom, x
+
+
+class TestEdgeSoftmax:
+    def test_rows_sum_to_one(self, case):
+        _, csr, _, x = case
+        rng = np.random.default_rng(0)
+        scores = CSRMatrix(csr.indptr, csr.indices, rng.random(csr.nnz) * 4 - 2, csr.shape)
+        alpha = edge_softmax(scores)
+        sums = np.add.reduceat(alpha.data, alpha.indptr[:-1][np.diff(alpha.indptr) > 0])
+        assert np.allclose(sums, 1.0)
+
+    def test_matches_dense_masked_softmax(self, case):
+        structure, csr, _, _ = case
+        rng = np.random.default_rng(1)
+        raw = rng.random(csr.nnz)
+        scores = CSRMatrix(csr.indptr, csr.indices, raw, csr.shape)
+        alpha = edge_softmax(scores).to_dense()
+        dense = scores.to_dense()
+        expect = np.zeros_like(dense)
+        for i in range(dense.shape[0]):
+            nz = structure[i] != 0
+            if nz.any():
+                e = np.exp(dense[i, nz] - dense[i, nz].max())
+                expect[i, nz] = e / e.sum()
+        assert np.allclose(alpha, expect)
+
+    def test_empty_rows_ok(self):
+        scores = CSRMatrix.from_coo([0], [1], [2.0], (3, 3))
+        alpha = edge_softmax(scores)
+        assert alpha.nnz == 1
+        assert alpha.data[0] == pytest.approx(1.0)
+
+    def test_stable_for_large_scores(self, case):
+        _, csr, _, _ = case
+        scores = CSRMatrix(csr.indptr, csr.indices, np.full(csr.nnz, 1e4), csr.shape)
+        alpha = edge_softmax(scores)
+        assert np.isfinite(alpha.data).all()
+
+
+class TestAggregation:
+    def test_venom_matches_csr(self, case):
+        _, csr, venom, x = case
+        rng = np.random.default_rng(2)
+        q, k, v = rng.random((3, x.shape[0], 8))
+        out_csr = gat_aggregate_csr(csr, q, k, v)
+        out_venom = gat_aggregate_venom(venom, q, k, v)
+        assert np.allclose(out_csr, out_venom)
+
+    def test_gatconv_paths_agree(self, case):
+        _, csr, venom, x = case
+        conv = GATConv(x.shape[1], 8, np.random.default_rng(3))
+        assert np.allclose(conv.forward_csr(csr, x), conv.forward_venom(venom, x))
+
+    def test_output_is_convex_combination(self, case):
+        # Each output row is a softmax-weighted average of neighbour values.
+        _, csr, _, x = case
+        rng = np.random.default_rng(4)
+        q, k = rng.random((2, x.shape[0], 8))
+        v = np.ones((x.shape[0], 4)) * 7.0
+        out = gat_aggregate_csr(csr, q, k, v)
+        has_nbrs = np.diff(csr.indptr) > 0
+        assert np.allclose(out[has_nbrs], 7.0)

@@ -1,0 +1,69 @@
+"""Dropout in GNN forward/backward."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import Aggregator, build_model
+from repro.sptc import CSRMatrix
+
+
+@pytest.fixture
+def setup(rng):
+    a = rng.random((10, 10)) * (rng.random((10, 10)) < 0.4)
+    a = (a + a.T) / 2
+    return Aggregator(CSRMatrix.from_dense(a)), rng.random((10, 6))
+
+
+class TestDropout:
+    def test_zero_dropout_matches_plain(self, setup):
+        agg, x = setup
+        model = build_model("gcn", 6, 8, 3, seed=0)
+        base = model.forward(x, agg)
+        again = model.forward(x, agg, dropout=0.0)
+        assert np.allclose(base, again)
+
+    def test_dropout_changes_output(self, setup):
+        agg, x = setup
+        model = build_model("gcn", 6, 8, 3, seed=0)
+        base = model.forward(x, agg)
+        dropped = model.forward(x, agg, dropout=0.5, rng=np.random.default_rng(1))
+        assert not np.allclose(base, dropped)
+
+    def test_dropout_deterministic_with_rng(self, setup):
+        agg, x = setup
+        model = build_model("gcn", 6, 8, 3, seed=0)
+        a = model.forward(x, agg, dropout=0.5, rng=np.random.default_rng(7))
+        b = model.forward(x, agg, dropout=0.5, rng=np.random.default_rng(7))
+        assert np.allclose(a, b)
+
+    def test_gradcheck_with_dropout(self, setup):
+        # Dropout mask fixed by seed: backward must match numerical gradient.
+        agg, x = setup
+        model = build_model("gcn", 6, 5, 3, seed=1)
+        dy = np.random.default_rng(2).random((10, 3))
+
+        def loss():
+            out = model.forward(x, agg, dropout=0.4, rng=np.random.default_rng(9))
+            return float((out * dy).sum())
+
+        loss()
+        model.zero_grad()
+        model.backward(dy)
+        p = model.parameters()[0]
+        eps = 1e-6
+        for idx in (0, p.value.size // 3):
+            orig = p.value.flat[idx]
+            p.value.flat[idx] = orig + eps
+            up = loss()
+            p.value.flat[idx] = orig - eps
+            down = loss()
+            p.value.flat[idx] = orig
+            assert p.grad.flat[idx] == pytest.approx((up - down) / (2 * eps), rel=1e-4, abs=1e-6)
+
+    def test_sgc_unaffected_by_dropout(self, setup):
+        # SGC has no hidden activation, so dropout is a no-op.
+        agg, x = setup
+        model = build_model("sgc", 6, 8, 3, seed=0)
+        base = model.forward(x, agg)
+        dropped = model.forward(x, agg, dropout=0.5, rng=np.random.default_rng(3))
+        assert np.allclose(base, dropped)

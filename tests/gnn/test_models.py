@@ -1,0 +1,95 @@
+"""GNN model assembly and end-to-end gradients."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GCN, ChebNet, GraphSAGE, MODEL_NAMES, SGC, Aggregator, build_model
+from repro.sptc import CSRMatrix
+
+
+@pytest.fixture
+def setup(rng):
+    a = rng.random((10, 10)) * (rng.random((10, 10)) < 0.4)
+    a = (a + a.T) / 2
+    agg = Aggregator(CSRMatrix.from_dense(a))
+    x = rng.random((10, 6))
+    return a, agg, x
+
+
+class TestFactory:
+    def test_all_names(self):
+        for name in MODEL_NAMES:
+            m = build_model(name, 6, 8, 3, seed=0)
+            assert m.parameters()
+
+    def test_aliases(self):
+        assert isinstance(build_model("graphsage", 4, 4, 2), GraphSAGE)
+        assert isinstance(build_model("chebnet", 4, 4, 2), ChebNet)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build_model("gat", 4, 4, 2)
+
+    def test_deterministic_init(self):
+        a = build_model("gcn", 4, 8, 2, seed=3)
+        b = build_model("gcn", 4, 8, 2, seed=3)
+        assert np.array_equal(a.parameters()[0].value, b.parameters()[0].value)
+
+
+class TestForward:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_output_shape(self, setup, name):
+        _, agg, x = setup
+        model = build_model(name, 6, 8, 3, seed=0)
+        out = model.forward(x, agg)
+        assert out.shape == (10, 3)
+
+    def test_gcn_two_layer_structure(self, setup):
+        a, agg, x = setup
+        model = GCN(6, 4, 3, np.random.default_rng(0))
+        w1, b1 = model.convs[0].linear.weight.value, model.convs[0].linear.bias.value
+        w2, b2 = model.convs[1].linear.weight.value, model.convs[1].linear.bias.value
+        h = np.maximum(a @ (x @ w1 + b1), 0.0)
+        expect = a @ (h @ w2 + b2)
+        assert np.allclose(model.forward(x, agg), expect)
+
+    def test_aggregation_counts(self):
+        rng = np.random.default_rng(0)
+        assert GCN(4, 4, 2, rng).n_aggregations == 2
+        assert GraphSAGE(4, 4, 2, rng).n_aggregations == 2
+        assert ChebNet(4, 4, 2, rng, k=3).n_aggregations == 4
+        assert SGC(4, 4, 2, rng, k=2).n_aggregations == 2
+
+
+class TestBackward:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_gradcheck_first_weight(self, setup, name):
+        _, agg, x = setup
+        model = build_model(name, 6, 5, 3, seed=1)
+        dy = np.random.default_rng(2).random((10, 3))
+
+        def loss():
+            return float((model.forward(x, agg) * dy).sum())
+
+        loss()
+        model.zero_grad()
+        model.backward(dy)
+        p = model.parameters()[0]
+        eps = 1e-6
+        for idx in (0, p.value.size // 2):
+            orig = p.value.flat[idx]
+            p.value.flat[idx] = orig + eps
+            up = loss()
+            p.value.flat[idx] = orig - eps
+            down = loss()
+            p.value.flat[idx] = orig
+            assert p.grad.flat[idx] == pytest.approx((up - down) / (2 * eps), rel=1e-4, abs=1e-6)
+
+    def test_zero_grad(self, setup):
+        _, agg, x = setup
+        model = build_model("gcn", 6, 4, 2, seed=0)
+        model.forward(x, agg)
+        model.backward(np.ones((10, 2)))
+        assert any(np.abs(p.grad).sum() > 0 for p in model.parameters())
+        model.zero_grad()
+        assert all(np.abs(p.grad).sum() == 0 for p in model.parameters())

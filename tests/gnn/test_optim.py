@@ -1,0 +1,71 @@
+"""Optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import Adam, Parameter, SGD
+
+
+def quadratic_step(opt, p, target=3.0):
+    """One gradient step on f(p) = (p - target)^2 / 2."""
+    p.grad[...] = p.value - target
+    opt.step()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.5)
+        for _ in range(50):
+            quadratic_step(opt, p)
+        assert np.allclose(p.value, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p1, p2 = Parameter(np.zeros(1)), Parameter(np.zeros(1))
+        plain = SGD([p1], lr=0.01)
+        mom = SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            quadratic_step(plain, p1)
+            quadratic_step(mom, p2)
+        assert abs(p2.value[0] - 3.0) < abs(p1.value[0] - 3.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(1) * 10)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad[...] = 0.0
+        opt.step()
+        assert p.value[0] < 10
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(2))
+        p.grad[...] = 5.0
+        SGD([p]).zero_grad()
+        assert np.allclose(p.grad, 0.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            quadratic_step(opt, p)
+        assert np.allclose(p.value, 3.0, atol=1e-3)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction, the first Adam step magnitude ≈ lr.
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.01)
+        p.grad[...] = 7.0
+        opt.step()
+        assert abs(p.value[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_deterministic(self):
+        def run():
+            p = Parameter(np.ones(4))
+            opt = Adam([p], lr=0.05)
+            for _ in range(10):
+                p.grad[...] = p.value**2
+                opt.step()
+            return p.value.copy()
+
+        assert np.array_equal(run(), run())

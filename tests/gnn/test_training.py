@@ -1,0 +1,112 @@
+"""Node-classification training loop."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import evaluate, make_aggregator, train_node_classifier
+from repro.graphs import load_dataset
+
+
+@pytest.fixture(scope="module")
+def small_ds():
+    return load_dataset("cora", seed=1, scale=0.2)
+
+
+class TestAggregatorFactory:
+    def test_gcn_kind_symmetric(self, small_ds):
+        agg = make_aggregator(small_ds, "gcn")
+        assert agg.operator is agg.operator_t
+
+    def test_mean_kind_rows_sum_to_one(self, small_ds):
+        agg = make_aggregator(small_ds, "mean")
+        rowsum = agg.operator.to_dense().sum(axis=1)
+        deg = small_ds.degrees()
+        assert np.allclose(rowsum[deg > 0], 1.0)
+
+    def test_mean_transpose_consistent(self, small_ds):
+        agg = make_aggregator(small_ds, "mean")
+        assert np.allclose(agg.operator.to_dense().T, agg.operator_t.to_dense())
+
+    def test_unknown_kind(self, small_ds):
+        with pytest.raises(KeyError):
+            make_aggregator(small_ds, "max")
+
+
+class TestTraining:
+    @pytest.mark.parametrize("model_name", ["gcn", "sage", "cheb", "sgc"])
+    def test_learns_above_chance(self, small_ds, model_name):
+        res = train_node_classifier(small_ds, model_name, epochs=30, seed=0)
+        n_classes = int(small_ds.labels.max()) + 1
+        assert res.test_accuracy > 2.0 / n_classes
+
+    def test_loss_decreases(self, small_ds):
+        res = train_node_classifier(small_ds, "gcn", epochs=30, seed=0)
+        assert res.losses[-1] < res.losses[0]
+
+    def test_deterministic(self, small_ds):
+        a = train_node_classifier(small_ds, "gcn", epochs=10, seed=4)
+        b = train_node_classifier(small_ds, "gcn", epochs=10, seed=4)
+        assert a.test_accuracy == b.test_accuracy
+        assert a.losses == b.losses
+
+    def test_requires_payload(self, small_ds):
+        from repro.graphs import Graph
+
+        bare = Graph.from_edge_list(4, [[0, 1]])
+        with pytest.raises(ValueError):
+            train_node_classifier(bare, "gcn")
+
+    def test_evaluate_returns_all_splits(self, small_ds):
+        res = train_node_classifier(small_ds, "gcn", epochs=5, seed=0)
+        agg = make_aggregator(small_ds, "gcn")
+        metrics = evaluate(res.model, small_ds, agg)
+        assert set(metrics) == {"train", "val", "test"}
+
+
+class TestSampledTraining:
+    def test_learns_above_chance(self, small_ds):
+        from repro.gnn import train_sampled
+
+        res = train_sampled(small_ds, "gcn", epochs=6, batches_per_epoch=3, n_seeds=60, seed=0)
+        n_classes = int(small_ds.labels.max()) + 1
+        assert res.test_accuracy > 1.5 / n_classes
+        assert res.losses
+
+    def test_deterministic(self, small_ds):
+        from repro.gnn import train_sampled
+
+        a = train_sampled(small_ds, "gcn", epochs=2, seed=3)
+        b = train_sampled(small_ds, "gcn", epochs=2, seed=3)
+        assert a.test_accuracy == b.test_accuracy
+
+    def test_requires_payload(self):
+        from repro.gnn import train_sampled
+        from repro.graphs import Graph
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            train_sampled(Graph.from_edge_list(4, [[0, 1]]), "gcn")
+
+
+class TestEarlyStoppingAndDropout:
+    def test_patience_stops_early(self, small_ds):
+        res = train_node_classifier(small_ds, "gcn", epochs=200, patience=3, seed=0)
+        assert len(res.losses) < 200
+
+    def test_best_val_params_restored(self, small_ds):
+        res = train_node_classifier(small_ds, "gcn", epochs=60, patience=5, seed=0)
+        long = train_node_classifier(small_ds, "gcn", epochs=60, seed=0)
+        # Early-stopped validation accuracy is at least as good as the final
+        # epoch's (it is the max over the trace).
+        assert res.val_accuracy >= long.val_accuracy - 0.05
+
+    def test_dropout_training_runs(self, small_ds):
+        res = train_node_classifier(small_ds, "gcn", epochs=15, dropout=0.3, seed=0)
+        n_classes = int(small_ds.labels.max()) + 1
+        assert res.test_accuracy > 1.5 / n_classes
+
+    def test_dropout_deterministic(self, small_ds):
+        a = train_node_classifier(small_ds, "gcn", epochs=8, dropout=0.3, seed=2)
+        b = train_node_classifier(small_ds, "gcn", epochs=8, dropout=0.3, seed=2)
+        assert a.losses == b.losses

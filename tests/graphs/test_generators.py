@@ -1,0 +1,123 @@
+"""Synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    SUITESPARSE_CLASSES,
+    banded_graph,
+    gnp_graph,
+    grid_graph,
+    power_law_graph,
+    rmat_graph,
+    sbm_graph,
+    suitesparse_like_collection,
+)
+
+
+class TestBasicGenerators:
+    def test_gnp_density(self, rng):
+        g = gnp_graph(500, 0.02, rng)
+        assert 0.25 < g.density() / 0.02 < 2.0
+
+    def test_sbm_community_structure(self, rng):
+        g, blocks = sbm_graph(300, 3, 0.2, 0.002, rng)
+        same = blocks[g.edges[:, 0]] == blocks[g.edges[:, 1]]
+        assert same.mean() > 0.8  # intra-block edges dominate
+
+    def test_sbm_block_assignment_shape(self, rng):
+        g, blocks = sbm_graph(100, 5, 0.1, 0.01, rng)
+        assert blocks.shape == (100,)
+        assert set(np.unique(blocks)) <= set(range(5))
+
+    def test_power_law_skew(self, rng):
+        g = power_law_graph(2000, 8.0, rng)
+        deg = g.degrees()
+        assert deg.max() > 5 * deg.mean()  # heavy tail
+
+    def test_power_law_mean_degree(self, rng):
+        g = power_law_graph(2000, 10.0, rng)
+        assert 4.0 < g.degrees().mean() < 20.0
+
+    def test_banded_bandwidth(self, rng):
+        g = banded_graph(200, 5, 0.5, rng)
+        span = np.abs(g.edges[:, 0] - g.edges[:, 1])
+        assert span.max() <= 5
+
+    def test_grid_degree_bounds(self):
+        g = grid_graph(10)
+        assert g.n == 100
+        deg = g.degrees()
+        assert deg.min() >= 2 and deg.max() <= 4
+        assert g.n_edges == 2 * 10 * 9
+
+    def test_rmat_runs_and_skews(self, rng):
+        g = rmat_graph(1024, 8000, rng)
+        assert g.n == 1024
+        deg = g.degrees()
+        assert deg.max() > 3 * max(deg.mean(), 1)
+
+
+class TestCollection:
+    def test_deterministic(self):
+        a = suitesparse_like_collection("small", 6, seed=3)
+        b = suitesparse_like_collection("small", 6, seed=3)
+        assert [g.n for g in a] == [g.n for g in b]
+        assert [g.n_edges for g in a] == [g.n_edges for g in b]
+
+    def test_seed_changes_population(self):
+        a = suitesparse_like_collection("small", 6, seed=3)
+        b = suitesparse_like_collection("small", 6, seed=4)
+        assert [g.n for g in a] != [g.n for g in b]
+
+    def test_class_sizes_ordered(self):
+        small = suitesparse_like_collection("small", 12, seed=0)
+        large = suitesparse_like_collection("large", 6, seed=0)
+        med_small = np.median([g.n for g in small])
+        med_large = np.median([g.n for g in large])
+        assert med_large > 10 * med_small
+
+    def test_specs_match_table1(self):
+        assert SUITESPARSE_CLASSES["small"].n_graphs == 444
+        assert SUITESPARSE_CLASSES["medium"].n_graphs == 724
+        assert SUITESPARSE_CLASSES["large"].n_graphs == 188
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError):
+            suitesparse_like_collection("huge", 2)
+
+    def test_default_count(self):
+        got = suitesparse_like_collection("large", seed=0)
+        assert len(got) == max(8, 188 // 10)
+
+    def test_graphs_nonempty_and_named(self):
+        for g in suitesparse_like_collection("small", 8, seed=1):
+            assert g.n >= 32
+            assert g.name
+
+
+class TestSmallWorld:
+    def test_degree_and_size(self, rng):
+        from repro.graphs import small_world_graph
+
+        g = small_world_graph(200, 6, 0.0, rng)
+        assert g.n == 200
+        # un-rewired ring lattice: every vertex has degree k
+        assert (g.degrees() == 6).all()
+
+    def test_rewiring_breaks_lattice(self, rng):
+        from repro.graphs import small_world_graph
+
+        g = small_world_graph(200, 4, 0.5, rng)
+        span = np.abs(g.edges[:, 0] - g.edges[:, 1])
+        span = np.minimum(span, 200 - span)  # ring distance
+        assert span.max() > 2  # long-range edges exist
+
+    def test_param_validation(self, rng):
+        from repro.graphs import small_world_graph
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            small_world_graph(10, 3, 0.1, rng)
+        with _pytest.raises(ValueError):
+            small_world_graph(4, 6, 0.1, rng)

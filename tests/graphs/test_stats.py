@@ -1,0 +1,53 @@
+"""Graph statistics (Table 1 columns)."""
+
+import numpy as np
+
+from repro.graphs import (
+    Graph,
+    collection_stats,
+    estimate_diameter,
+    graph_stats,
+    grid_graph,
+    suitesparse_like_collection,
+)
+
+
+class TestGraphStats:
+    def test_fields(self, small_community_graph):
+        s = graph_stats(small_community_graph)
+        assert s["n_vertices"] == small_community_graph.n
+        assert s["n_edges"] == small_community_graph.n_directed_edges
+        assert s["max_degree"] >= s["avg_degree"]
+
+    def test_with_diameter(self, small_community_graph):
+        s = graph_stats(small_community_graph, with_diameter=True)
+        assert s["diameter"] >= 1
+
+
+class TestDiameter:
+    def test_path_graph(self):
+        n = 30
+        g = Graph.from_edge_list(n, [[i, i + 1] for i in range(n - 1)])
+        assert estimate_diameter(g) == n - 1  # double sweep is exact on paths
+
+    def test_grid_lower_bound(self):
+        g = grid_graph(8)
+        d = estimate_diameter(g)
+        assert d >= 8  # true diameter of an 8x8 grid is 14
+
+    def test_star_graph(self):
+        g = Graph.from_edge_list(10, [[0, i] for i in range(1, 10)])
+        assert estimate_diameter(g) == 2
+
+    def test_empty_graph(self):
+        g = Graph.from_edge_list(0, np.empty((0, 2), dtype=np.int64))
+        assert estimate_diameter(g) == 0
+
+
+class TestCollectionStats:
+    def test_aggregates(self):
+        graphs = suitesparse_like_collection("small", 10, seed=0)
+        s = collection_stats(graphs)
+        assert s["n_graphs"] == 10
+        assert s["n_vertices"]["avg"] > 0
+        assert {"avg", "med"} <= set(s["n_vertices"])

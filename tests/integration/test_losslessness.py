@@ -1,0 +1,67 @@
+"""The paper's central claim: reordering is lossless, pruning is not (Table 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VNMPattern
+from repro.gnn import evaluate, make_aggregator, train_node_classifier
+from repro.gnn.training import aggregator_kind_for
+from repro.graphs import load_dataset
+from repro.prune import prune_graph
+from repro.gnn.frameworks import reorder_for_graph
+
+PATTERN = VNMPattern(1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    # "computers" is dense (avg degree ~71), so the 1:2:4 pattern genuinely
+    # requires pruning — the lossy-vs-lossless contrast the paper draws.
+    return load_dataset("computers", seed=3, scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def trained(ds):
+    return {
+        name: train_node_classifier(ds, name, epochs=25, seed=0)
+        for name in ("gcn", "sage")
+    }
+
+
+class TestReorderLossless:
+    @pytest.mark.parametrize("model_name", ["gcn", "sage"])
+    def test_reordered_accuracy_identical(self, ds, trained, model_name):
+        result = trained[model_name]
+        perm = reorder_for_graph(ds, PATTERN)
+        reordered = ds.relabel(perm)
+        agg = make_aggregator(reordered, aggregator_kind_for(model_name))
+        metrics = evaluate(result.model, reordered, agg)
+        assert metrics["test"] == pytest.approx(result.test_accuracy, abs=1e-12)
+
+    def test_predictions_exactly_permuted(self, ds, trained):
+        model = trained["gcn"].model
+        perm = reorder_for_graph(ds, PATTERN)
+        reordered = ds.relabel(perm)
+        base_logits = model.forward(ds.features, make_aggregator(ds, "gcn"))
+        reord_logits = model.forward(reordered.features, make_aggregator(reordered, "gcn"))
+        assert np.allclose(reord_logits, base_logits[perm.order], atol=1e-9)
+
+
+class TestPruneLossy:
+    @pytest.mark.parametrize("model_name", ["gcn", "sage"])
+    def test_pruned_accuracy_not_higher(self, ds, trained, model_name):
+        pruned, stats = prune_graph(ds, PATTERN)
+        agg = make_aggregator(pruned, aggregator_kind_for(model_name))
+        metrics = evaluate(trained[model_name].model, pruned, agg)
+        # Pruning removes edges that carry label information; accuracy cannot
+        # systematically beat the lossless evaluation.
+        assert metrics["test"] <= trained[model_name].test_accuracy + 0.02
+        assert stats.prune_ratio > 0.0
+
+    def test_prune_changes_predictions(self, ds, trained):
+        pruned, stats = prune_graph(ds, PATTERN)
+        model = trained["gcn"].model
+        base = model.forward(ds.features, make_aggregator(ds, "gcn"))
+        after = model.forward(pruned.features, make_aggregator(pruned, "gcn"))
+        if stats.prune_ratio > 0:
+            assert not np.allclose(base, after, atol=1e-9)

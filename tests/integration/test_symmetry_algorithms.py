@@ -1,0 +1,108 @@
+"""Symmetry preservation enables symmetry-based graph algorithms (paper §1/§6).
+
+The paper argues graph reordering (unlike Jigsaw's column reordering) keeps
+the adjacency matrix symmetric, so spectral partitioning, MST, isomorphism
+checks, etc. keep working.  These tests run such algorithms on the reordered
+matrix and check the results are equivalent to the original's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import jigsaw_column_reorder
+from repro.core import NMPattern, VNMPattern, reorder
+from repro.graphs import sbm_graph
+
+
+@pytest.fixture(scope="module")
+def case():
+    rng = np.random.default_rng(5)
+    g, blocks = sbm_graph(80, 2, 0.3, 0.01, rng)
+    res = reorder(g.bitmatrix(), VNMPattern(1, 2, 4), max_iter=5)
+    return g, blocks, res
+
+
+class TestSymmetryPreservation:
+    def test_reordered_matrix_symmetric(self, case):
+        _, _, res = case
+        assert res.matrix.is_symmetric()
+
+    def test_jigsaw_breaks_symmetry_on_same_input(self, case):
+        g, _, _ = case
+        jr = jigsaw_column_reorder(g.bitmatrix(), NMPattern(2, 4))
+        if not jr.column_permutation.is_identity():
+            assert not jr.matrix.is_symmetric()
+
+
+class TestSpectralPartitioning:
+    def test_fiedler_partition_invariant(self, case):
+        g, blocks, res = case
+        perm = res.permutation
+
+        def fiedler_sign(dense):
+            deg = dense.sum(axis=1)
+            lap = np.diag(deg) - dense
+            vals, vecs = np.linalg.eigh(lap)
+            return vecs[:, 1] >= 0
+
+        base = fiedler_sign(g.bitmatrix().to_dense().astype(float))
+        reord = fiedler_sign(res.matrix.to_dense().astype(float))
+        # The reordered Fiedler partition is the permuted original (up to the
+        # global sign of the eigenvector).
+        mapped = base[perm.order]
+        agreement = max((mapped == reord).mean(), (mapped == ~reord).mean())
+        assert agreement > 0.95
+
+    def test_partition_recovers_planted_blocks(self, case):
+        g, blocks, res = case
+
+        dense = res.matrix.to_dense().astype(float)
+        deg = dense.sum(axis=1)
+        lap = np.diag(deg) - dense
+        _, vecs = np.linalg.eigh(lap)
+        side = vecs[:, 1] >= 0
+        blocks_reordered = blocks[res.permutation.order]
+        agree = max(
+            (side == (blocks_reordered == 0)).mean(),
+            (side == (blocks_reordered == 1)).mean(),
+        )
+        assert agree > 0.9
+
+
+class TestMinimumSpanningTree:
+    def test_mst_weight_invariant(self, case):
+        import networkx as nx
+
+        g, _, res = case
+        rng = np.random.default_rng(0)
+        w = g.bitmatrix().to_dense().astype(float)
+        weights = rng.random(w.shape)
+        weights = (weights + weights.T) / 2
+        w = w * weights
+        wp = res.permutation.apply_to_matrix(w)
+
+        def mst_weight(dense):
+            gx = nx.Graph()
+            rows, cols = np.nonzero(np.triu(dense))
+            gx.add_weighted_edges_from(
+                (int(r), int(c), float(dense[r, c])) for r, c in zip(rows, cols)
+            )
+            return sum(d["weight"] for _, _, d in nx.minimum_spanning_edges(gx, data=True))
+
+        assert mst_weight(w) == pytest.approx(mst_weight(wp))
+
+
+class TestIsomorphism:
+    def test_reordered_graph_isomorphic_to_original(self, case):
+        import networkx as nx
+
+        g, _, res = case
+        g1 = g.to_networkx()
+        g2 = g.relabel(res.permutation).to_networkx()
+        assert nx.is_isomorphic(g1, g2)
+
+    def test_degree_sequence_invariant(self, case):
+        g, _, res = case
+        d1 = sorted(g.degrees().tolist())
+        d2 = sorted(g.relabel(res.permutation).degrees().tolist())
+        assert d1 == d2

@@ -1,0 +1,77 @@
+"""Property tests for the auxiliary formats (SELL, TC-GNN, SDDMM)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sptc import CSRMatrix, TCGNNBlocked
+from repro.sptc.sddmm import csr_sddmm
+from repro.sptc.sell import SellCSigma
+
+
+@st.composite
+def sparse_matrices(draw, max_n=40):
+    n_rows = draw(st.integers(min_value=1, max_value=max_n))
+    n_cols = draw(st.integers(min_value=1, max_value=max_n))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    density = draw(st.floats(min_value=0.0, max_value=0.35))
+    rng = np.random.default_rng(seed)
+    a = rng.random((n_rows, n_cols)) * (rng.random((n_rows, n_cols)) < density)
+    return a
+
+
+class TestSellProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_matrices(), st.sampled_from([(4, 4), (8, 16)]))
+    def test_roundtrip(self, a, cs):
+        c, sigma = cs
+        sell = SellCSigma.from_csr(CSRMatrix.from_dense(a), c=c, sigma=sigma)
+        assert np.allclose(sell.to_dense(), a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sparse_matrices(), st.integers(1, 6))
+    def test_spmm_matches(self, a, h):
+        sell = SellCSigma.from_csr(CSRMatrix.from_dense(a), c=4, sigma=8)
+        b = np.random.default_rng(h).random((a.shape[1], h))
+        assert np.allclose(sell.matmat(b), a @ b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sparse_matrices())
+    def test_padding_entries_at_least_nnz(self, a):
+        csr = CSRMatrix.from_dense(a)
+        sell = SellCSigma.from_csr(csr)
+        assert sell.padded_entries >= csr.nnz
+
+
+class TestTcgnnProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_matrices(), st.sampled_from([8, 16]))
+    def test_roundtrip(self, a, tile):
+        blocked = TCGNNBlocked.from_csr(CSRMatrix.from_dense(a), tile=tile)
+        assert np.allclose(blocked.to_dense(), a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sparse_matrices(), st.integers(1, 5))
+    def test_spmm_matches(self, a, h):
+        blocked = TCGNNBlocked.from_csr(CSRMatrix.from_dense(a), tile=8)
+        b = np.random.default_rng(h).random((a.shape[1], h))
+        assert np.allclose(blocked.spmm(b), a @ b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(sparse_matrices())
+    def test_stored_slots_cover_nnz(self, a):
+        csr = CSRMatrix.from_dense(a)
+        blocked = TCGNNBlocked.from_csr(csr, tile=16)
+        assert blocked.blocks.size >= csr.nnz
+
+
+class TestSddmmProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(sparse_matrices(), st.integers(1, 6))
+    def test_matches_dense_masked(self, a, f):
+        rng = np.random.default_rng(f)
+        q = rng.random((a.shape[0], f))
+        k = rng.random((a.shape[1], f))
+        csr = CSRMatrix.from_dense(a)
+        out = csr_sddmm(csr, q, k)
+        assert np.allclose(out.to_dense(), (q @ k.T) * a)

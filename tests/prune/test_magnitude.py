@@ -1,0 +1,69 @@
+"""Magnitude pruning baseline (revised-pruned setting)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VNMPattern
+from repro.prune import magnitude_prune, prune_graph
+from repro.sptc import VNMCompressed
+
+
+class TestMagnitudePrune:
+    def test_result_conforms(self, weighted_sym_dense):
+        pat = VNMPattern(4, 2, 8)
+        res = magnitude_prune(weighted_sym_dense, pat)
+        VNMCompressed.compress(res.matrix, pat)  # must not raise
+
+    def test_keeps_subset_of_entries(self, weighted_sym_dense):
+        pat = VNMPattern(4, 2, 8)
+        res = magnitude_prune(weighted_sym_dense, pat)
+        kept = res.matrix != 0
+        orig = weighted_sym_dense != 0
+        assert (kept <= orig).all()
+        assert np.allclose(res.matrix[kept], weighted_sym_dense[kept])
+
+    def test_prune_ratio(self, weighted_sym_dense):
+        pat = VNMPattern(4, 2, 8)
+        res = magnitude_prune(weighted_sym_dense, pat)
+        assert res.prune_ratio == pytest.approx(
+            1 - np.count_nonzero(res.matrix) / np.count_nonzero(weighted_sym_dense)
+        )
+
+    def test_conforming_input_untouched(self):
+        pat = VNMPattern(1, 2, 4)
+        a = np.zeros((4, 8))
+        a[0, [0, 3]] = [1.0, 2.0]
+        res = magnitude_prune(a, pat)
+        assert np.allclose(res.matrix, a)
+        assert res.prune_ratio == 0.0
+
+    def test_prunes_smallest_magnitude(self):
+        pat = VNMPattern(1, 2, 4)
+        a = np.array([[0.1, 5.0, 3.0, 0.0]])
+        res = magnitude_prune(a, pat)
+        assert res.matrix[0].tolist() == [0.0, 5.0, 3.0, 0.0]
+
+    def test_empty_matrix(self):
+        res = magnitude_prune(np.zeros((4, 4)), VNMPattern(1, 2, 4))
+        assert res.prune_ratio == 0.0
+
+
+class TestPruneGraph:
+    def test_graph_stays_undirected(self, small_community_graph):
+        pat = VNMPattern(1, 2, 4)
+        pruned, stats = prune_graph(small_community_graph, pat)
+        assert pruned.bitmatrix().is_symmetric()
+        assert stats.prune_ratio >= 0.0
+
+    def test_edges_removed_not_added(self, small_community_graph):
+        pat = VNMPattern(1, 2, 4)
+        pruned, _ = prune_graph(small_community_graph, pat)
+        assert pruned.n_edges <= small_community_graph.n_edges
+        orig = {tuple(e) for e in small_community_graph.edges.tolist()}
+        assert all(tuple(e) in orig for e in pruned.edges.tolist())
+
+    def test_payload_carried(self, cora_like):
+        pat = VNMPattern(1, 2, 4)
+        pruned, _ = prune_graph(cora_like, pat)
+        assert np.array_equal(pruned.labels, cora_like.labels)
+        assert pruned.features is cora_like.features

@@ -1,0 +1,74 @@
+"""BSR storage and the Listing-1 bit-string encoding."""
+
+import numpy as np
+
+from repro.core import BitMatrix
+from repro.sptc import BSRMatrix, CSRMatrix
+
+
+class TestBSR:
+    def test_dense_roundtrip(self, weighted_sym_dense):
+        bsr = BSRMatrix.from_dense(weighted_sym_dense, 4)
+        assert np.allclose(bsr.to_dense(), weighted_sym_dense)
+
+    def test_from_csr(self, weighted_sym_dense):
+        csr = CSRMatrix.from_dense(weighted_sym_dense)
+        bsr = BSRMatrix.from_csr(csr, 8)
+        assert np.allclose(bsr.to_dense(), weighted_sym_dense)
+
+    def test_only_nonzero_blocks_stored(self):
+        a = np.zeros((8, 8))
+        a[0, 0] = 1.0
+        bsr = BSRMatrix.from_dense(a, 4)
+        assert bsr.n_blocks == 1
+
+    def test_padding_for_non_multiple_shape(self, rng):
+        a = rng.random((10, 10)) * (rng.random((10, 10)) < 0.3)
+        bsr = BSRMatrix.from_dense(a, 4)
+        assert np.allclose(bsr.to_dense(), a)
+
+    def test_block_lookup(self):
+        a = np.zeros((8, 8))
+        a[0, 4] = 1.0
+        bsr = BSRMatrix.from_dense(a, 4)
+        assert bsr.block_lookup(0, 1) >= 0
+        assert bsr.block_lookup(0, 0) == -1
+        assert bsr.block_lookup(1, 1) == -1
+
+
+class TestListing1:
+    def test_row_segment_bits_msb_first(self):
+        a = np.zeros((4, 4))
+        a[1, 0] = 5.0
+        a[1, 3] = 7.0
+        bsr = BSRMatrix.from_dense(a, 4)
+        # MSB-first: bit for column 0 is the leftmost => 0b1001.
+        assert bsr.row_segment_bits(1, 0) == 0b1001
+
+    def test_missing_block_encodes_zero(self):
+        a = np.zeros((8, 8))
+        a[0, 0] = 1.0
+        bsr = BSRMatrix.from_dense(a, 4)
+        assert bsr.row_segment_bits(0, 1) == 0
+
+    def test_all_segment_bits_consistent_with_scalar(self, weighted_sym_dense):
+        bsr = BSRMatrix.from_dense(weighted_sym_dense, 8)
+        allbits = bsr.all_segment_bits()
+        for row in range(0, weighted_sym_dense.shape[0], 11):
+            for seg in range(allbits.shape[1]):
+                assert int(allbits[row, seg]) == bsr.row_segment_bits(row, seg)
+
+    def test_bitstrings_match_bitmatrix_modulo_bit_order(self, weighted_sym_dense):
+        # BSR encodes MSB-first (Listing 1's left shift), BitMatrix LSB-first.
+        m = 8
+        bsr = BSRMatrix.from_dense(weighted_sym_dense, m)
+        bm = BitMatrix.from_dense((weighted_sym_dense != 0).astype(np.uint8))
+        bits_bsr = bsr.all_segment_bits()
+        bits_bm = bm.segment_values(m)
+
+        def revbits(x: int) -> int:
+            return int(f"{x:0{m}b}"[::-1], 2)
+
+        for row in range(0, weighted_sym_dense.shape[0], 13):
+            for seg in range(bits_bm.shape[1]):
+                assert revbits(int(bits_bm[row, seg])) == int(bits_bsr[row, seg])

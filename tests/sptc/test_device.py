@@ -1,0 +1,100 @@
+"""Emulated device: functional kernels + virtual clock."""
+
+import numpy as np
+import pytest
+
+from repro.core import NMPattern, VNMPattern
+from repro.sptc import (
+    CSRMatrix,
+    EmulatedDevice,
+    HybridVNM,
+    NMCompressed,
+    VNMCompressed,
+)
+from repro.sptc.device import active_device, use_device
+
+
+@pytest.fixture
+def device():
+    return EmulatedDevice()
+
+
+class TestClock:
+    def test_clock_advances(self, device, rng):
+        a = CSRMatrix.from_dense(np.eye(8))
+        device.spmm(a, rng.random((8, 4)))
+        assert device.clock > 0
+        assert len(device.records) == 1
+
+    def test_reset(self, device, rng):
+        device.spmm(CSRMatrix.identity(4), rng.random((4, 2)))
+        device.reset()
+        assert device.clock == 0.0
+        assert device.records == []
+
+    def test_elapsed_by_tag(self, device, rng):
+        device.spmm(CSRMatrix.identity(4), rng.random((4, 2)), tag="aggregation")
+        device.gemm(rng.random((4, 4)), rng.random((4, 4)), tag="update")
+        assert device.elapsed("aggregation") > 0
+        assert device.elapsed("update") > 0
+        assert device.elapsed() == pytest.approx(
+            device.elapsed("aggregation") + device.elapsed("update")
+        )
+
+
+class TestKernels:
+    def test_csr_numerics(self, device, weighted_sym_dense, rng):
+        b = rng.random((weighted_sym_dense.shape[1], 6))
+        out = device.spmm(CSRMatrix.from_dense(weighted_sym_dense), b)
+        assert np.allclose(out, weighted_sym_dense @ b)
+
+    def test_venom_numerics(self, device, rng):
+        pat = VNMPattern(2, 2, 4)
+        a = np.zeros((8, 8))
+        a[0, [0, 2]] = [1.0, 2.0]
+        a[1, 0] = 3.0
+        c = VNMCompressed.compress(a, pat)
+        b = rng.random((8, 3))
+        assert np.allclose(device.spmm(c, b), a @ b)
+
+    def test_nm_numerics(self, device, rng):
+        pat = NMPattern(2, 4)
+        a = np.zeros((4, 8))
+        a[0, [1, 3]] = 1.0
+        c = NMCompressed.compress(a, pat)
+        b = rng.random((8, 3))
+        assert np.allclose(device.spmm(c, b), a @ b)
+
+    def test_hybrid_numerics(self, device, weighted_sym_dense, rng):
+        pat = VNMPattern(4, 2, 8)
+        hy = HybridVNM.compress(weighted_sym_dense, pat)
+        b = rng.random((weighted_sym_dense.shape[1], 4))
+        assert np.allclose(device.spmm(hy, b), weighted_sym_dense @ b)
+
+    def test_unknown_operand_rejected(self, device, rng):
+        with pytest.raises(TypeError):
+            device.spmm(object(), rng.random((4, 2)))
+
+    def test_gemm_and_elementwise(self, device, rng):
+        a, b = rng.random((5, 6)), rng.random((6, 7))
+        assert np.allclose(device.gemm(a, b), a @ b)
+        x = rng.random((4, 4)) - 0.5
+        assert np.allclose(device.elementwise(x, np.abs), np.abs(x))
+
+
+class TestDeviceContext:
+    def test_context_scoping(self, device):
+        assert active_device() is None
+        with use_device(device):
+            assert active_device() is device
+            inner = EmulatedDevice()
+            with use_device(inner):
+                assert active_device() is inner
+            assert active_device() is device
+        assert active_device() is None
+
+    def test_context_restored_on_exception(self, device):
+        with pytest.raises(RuntimeError):
+            with use_device(device):
+                raise RuntimeError("boom")
+        assert active_device() is None

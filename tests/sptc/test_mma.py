@@ -1,0 +1,93 @@
+"""Functional mma.sp emulation."""
+
+import numpy as np
+import pytest
+
+from repro.sptc import (
+    MMA_M16N8K32,
+    MmaShape,
+    compress_tile_2to4,
+    expand_tile_2to4,
+    mma_sp,
+)
+
+
+def conforming_tile(rng, shape=MMA_M16N8K32):
+    t = np.zeros((shape.m, shape.k))
+    for i in range(shape.m):
+        for g in range(shape.k // shape.sparsity_m):
+            pos = rng.choice(shape.sparsity_m, size=shape.sparsity_n, replace=False)
+            t[i, g * shape.sparsity_m + pos] = rng.random(shape.sparsity_n)
+    return t
+
+
+class TestShape:
+    def test_default_shape(self):
+        assert (MMA_M16N8K32.m, MMA_M16N8K32.n, MMA_M16N8K32.k) == (16, 8, 32)
+        assert MMA_M16N8K32.packed_k == 16
+        assert str(MMA_M16N8K32) == "m16n8k32"
+
+
+class TestCompress:
+    def test_roundtrip(self, rng):
+        t = conforming_tile(rng)
+        v, meta = compress_tile_2to4(t)
+        assert v.shape == (16, 16)
+        assert np.allclose(expand_tile_2to4(v, meta), t)
+
+    def test_partial_groups_roundtrip(self, rng):
+        t = conforming_tile(rng)
+        t[3, 4:8] = 0.0  # a fully-empty group
+        t[5, 0] = 0.0    # a one-non-zero group
+        v, meta = compress_tile_2to4(t)
+        assert np.allclose(expand_tile_2to4(v, meta), t)
+
+    def test_violation_rejected(self, rng):
+        t = conforming_tile(rng)
+        t[0, 0:3] = 1.0
+        with pytest.raises(ValueError):
+            compress_tile_2to4(t)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            compress_tile_2to4(np.zeros((8, 32)))
+
+
+class TestMmaSp:
+    def test_matches_dense(self, rng):
+        t = conforming_tile(rng)
+        v, meta = compress_tile_2to4(t)
+        b = rng.random((32, 8))
+        assert np.allclose(mma_sp(v, meta, b), t @ b)
+
+    def test_accumulates_into_c(self, rng):
+        t = conforming_tile(rng)
+        v, meta = compress_tile_2to4(t)
+        b = rng.random((32, 8))
+        c = rng.random((16, 8))
+        assert np.allclose(mma_sp(v, meta, b, c), c + t @ b)
+
+    def test_does_not_mutate_c(self, rng):
+        t = conforming_tile(rng)
+        v, meta = compress_tile_2to4(t)
+        b = rng.random((32, 8))
+        c = np.zeros((16, 8))
+        mma_sp(v, meta, b, c)
+        assert np.allclose(c, 0.0)
+
+    def test_b_shape_checked(self, rng):
+        t = conforming_tile(rng)
+        v, meta = compress_tile_2to4(t)
+        with pytest.raises(ValueError):
+            mma_sp(v, meta, np.zeros((16, 8)))
+
+    def test_operand_shape_checked(self, rng):
+        with pytest.raises(ValueError):
+            mma_sp(np.zeros((16, 8)), np.zeros((16, 8), dtype=np.uint8), np.zeros((32, 8)))
+
+    def test_custom_shape(self, rng):
+        shape = MmaShape(8, 4, 16)
+        t = conforming_tile(rng, shape)
+        v, meta = compress_tile_2to4(t, shape)
+        b = rng.random((16, 4))
+        assert np.allclose(mma_sp(v, meta, b, shape=shape), t @ b)

@@ -1,0 +1,57 @@
+"""SpMM kernel dispatch and cross-format agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix, NMPattern, VNMPattern, reorder
+from repro.sptc import (
+    CSRMatrix,
+    NMCompressed,
+    VNMCompressed,
+    csr_spmm,
+    dense_spmm,
+    nm_spmm,
+    spmm,
+    venom_spmm,
+)
+
+
+@pytest.fixture(scope="module")
+def conforming_case():
+    """A weighted symmetric matrix reordered to full 1:2:4 conformance."""
+    rng = np.random.default_rng(11)
+    n = 96
+    mask = rng.random((n, n)) < 0.04
+    mask |= mask.T
+    np.fill_diagonal(mask, False)
+    w = np.triu(rng.random((n, n)) + 0.01, 1) * np.triu(mask, 1)
+    w = w + w.T
+    res = reorder(BitMatrix.from_dense((w != 0).astype(np.uint8)), VNMPattern(1, 2, 4))
+    assert res.conforms
+    wp = res.permutation.apply_to_matrix(w)
+    b = rng.random((n, 33))
+    return wp, b
+
+
+class TestAgreement:
+    def test_all_formats_agree(self, conforming_case):
+        wp, b = conforming_case
+        ref = dense_spmm(wp, b)
+        csr = CSRMatrix.from_dense(wp)
+        nm = NMCompressed.compress(wp, NMPattern(2, 4))
+        vn = VNMCompressed.compress(wp, VNMPattern(1, 2, 4))
+        assert np.allclose(csr_spmm(csr, b), ref)
+        assert np.allclose(nm_spmm(nm, b), ref)
+        assert np.allclose(venom_spmm(vn, b), ref)
+
+    def test_dispatch(self, conforming_case):
+        wp, b = conforming_case
+        ref = wp @ b
+        assert np.allclose(spmm(CSRMatrix.from_dense(wp), b), ref)
+        assert np.allclose(spmm(NMCompressed.compress(wp, NMPattern(2, 4)), b), ref)
+        assert np.allclose(spmm(VNMCompressed.compress(wp, VNMPattern(1, 2, 4)), b), ref)
+        assert np.allclose(spmm(wp, b), ref)
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            spmm("nope", np.zeros((2, 2)))

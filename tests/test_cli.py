@@ -1,0 +1,66 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main, parse_pattern
+from repro.core import VNMPattern
+from repro.graphs import graph_to_mtx, sbm_graph
+
+
+@pytest.fixture
+def mtx_file(tmp_path, rng):
+    g, _ = sbm_graph(80, 3, 0.15, 0.01, rng)
+    path = tmp_path / "g.mtx"
+    graph_to_mtx(g, path)
+    return str(path)
+
+
+class TestParsePattern:
+    def test_nm(self):
+        assert parse_pattern("2:4") == VNMPattern(1, 2, 4)
+
+    def test_vnm(self):
+        assert parse_pattern("16:2:8") == VNMPattern(16, 2, 8)
+
+    def test_bad(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_pattern("abc")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_pattern("1:2:3:4")
+
+
+class TestCommands:
+    def test_reorder_roundtrip(self, mtx_file, tmp_path, capsys):
+        out = str(tmp_path / "out.mtx")
+        code = main(["reorder", mtx_file, "--pattern", "2:4", "--output", out])
+        text = capsys.readouterr().out
+        assert "improvement_rate" in text
+        assert (tmp_path / "out.mtx").exists()
+        assert code in (0, 1)
+
+    def test_reorder_output_is_symmetric(self, mtx_file, tmp_path):
+        from repro.graphs import graph_from_mtx
+
+        out = str(tmp_path / "out.mtx")
+        main(["reorder", mtx_file, "--output", out])
+        g = graph_from_mtx(out)
+        assert g.bitmatrix().is_symmetric()
+
+    def test_survey(self, mtx_file, capsys):
+        code = main(["survey", mtx_file, "--max-iter", "3"])
+        text = capsys.readouterr().out
+        assert "best pattern" in text or "no conforming" in text
+        assert code in (0, 1)
+
+    def test_collection(self, capsys):
+        code = main(["collection", "small", "--count", "5"])
+        text = capsys.readouterr().out
+        assert "small class (5 graphs)" in text
+        assert code == 0
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

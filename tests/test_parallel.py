@@ -1,0 +1,62 @@
+"""Process-parallel batch reordering."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix, VNMPattern, reorder
+from repro.parallel import ReorderSummary, default_workers, reorder_many
+
+PATTERN = VNMPattern(1, 2, 4)
+
+
+def batch(count=4, n=48, seed=0):
+    out = []
+    for i in range(count):
+        rng = np.random.default_rng(seed + i)
+        a = rng.random((n, n)) < 0.06
+        a = (a | a.T).astype(np.uint8)
+        np.fill_diagonal(a, 0)
+        out.append(BitMatrix.from_dense(a))
+    return out
+
+
+class TestReorderMany:
+    def test_inline_matches_direct(self):
+        mats = batch(3)
+        summaries = reorder_many(mats, PATTERN, n_workers=1)
+        for bm, s in zip(mats, summaries):
+            direct = reorder(bm, PATTERN)
+            assert s.final_invalid_vectors == direct.final_invalid_vectors
+            assert np.array_equal(s.order, direct.permutation.order)
+
+    def test_parallel_matches_inline(self):
+        mats = batch(4)
+        inline = reorder_many(mats, PATTERN, n_workers=1)
+        parallel = reorder_many(mats, PATTERN, n_workers=2)
+        for a, b in zip(inline, parallel):
+            assert a.final_invalid_vectors == b.final_invalid_vectors
+            assert np.array_equal(a.order, b.order)
+
+    def test_results_in_input_order(self):
+        summaries = reorder_many(batch(5), PATTERN, n_workers=2)
+        assert [s.index for s in summaries] == list(range(5))
+
+    def test_summary_properties(self):
+        (s,) = reorder_many(batch(1), PATTERN, n_workers=1)
+        assert isinstance(s, ReorderSummary)
+        assert 0.0 <= s.improvement_rate <= 1.0
+        s.permutation.validate()
+        assert s.pattern == "1:2:4"
+
+    def test_kwargs_forwarded(self):
+        (s,) = reorder_many(batch(1), PATTERN, n_workers=1, max_iter=0)
+        assert s.iterations == 0
+
+    def test_empty_batch(self):
+        assert reorder_many([], PATTERN) == []
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() >= 1
