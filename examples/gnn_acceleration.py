@@ -1,9 +1,12 @@
 """GNN acceleration pipeline — the paper's §5.1 experiment on one dataset.
 
-Loads a Cora-shaped dataset, prepares all four experiment settings
-(default-original, default-reordered, revised-pruned, revised-reordered),
-runs the four GNN models under both framework personalities, and prints the
-per-layer / end-to-end speedups plus the accuracy comparison.
+Loads a Cora-shaped dataset, runs the offline step through the
+`repro.pipeline` subsystem (pattern autoselect + reordering of the A + I
+structure every model's operator lives in), prepares all four experiment
+settings (default-original, default-reordered, revised-pruned,
+revised-reordered), runs the four GNN models under both framework
+personalities, and prints the per-layer / end-to-end speedups plus the
+accuracy comparison.
 
 Run:  python examples/gnn_acceleration.py [dataset]
 """
@@ -11,7 +14,6 @@ Run:  python examples/gnn_acceleration.py [dataset]
 import sys
 
 from repro.bench import render_table
-from repro.core import find_best_pattern
 from repro.gnn import (
     MODEL_NAMES,
     SETTINGS,
@@ -19,11 +21,11 @@ from repro.gnn import (
     gnn_speedups,
     make_aggregator,
     prepare_setting,
-    reorder_for_graph,
     train_node_classifier,
 )
 from repro.gnn.training import aggregator_kind_for
 from repro.graphs import load_dataset
+from repro.pipeline import PreprocessPlan, preprocess
 from repro.prune import prune_graph
 
 
@@ -32,11 +34,11 @@ def main(dataset: str = "cora") -> None:
     print(f"dataset {dataset}: {graph.n} vertices, {graph.n_edges} edges, "
           f"{graph.features.shape[1]} features, {int(graph.labels.max()) + 1} classes")
 
-    # Offline preprocessing: best pattern + reordering permutation (§4.4).
-    best = find_best_pattern(graph.bitmatrix(), max_iter=6)
-    pattern = best.pattern
+    # Offline preprocessing (§4.4): autoselect the pattern and reorder A + I —
+    # the structure containing every model's operator — in one pipeline run.
+    pre = preprocess(graph, PreprocessPlan(max_iter=6, add_self_loops=True))
+    pattern, perm = pre.pattern, pre.permutation
     print(f"best V:N:M pattern: {pattern}")
-    perm = reorder_for_graph(graph, pattern)
     prepared = {s: prepare_setting(graph, s, pattern, permutation=perm) for s in SETTINGS}
 
     # --- speedups (Table 3 row) ------------------------------------------------

@@ -1,11 +1,12 @@
-"""Offline preprocessing → persisted artefacts → serving (paper §4.4).
+"""Offline preprocessing → artifact cache → serving (paper §4.4).
 
 "The reordering takes 0.05–30s … offering an effective method for offline
 preprocessing of graphs that will be reused repeatedly across many
-inferences."  This example is that deployment story end to end: preprocess
-once, save the permutation + compressed operand, then a "serving process"
-loads them and answers many inference requests without ever re-running the
-search.
+inferences."  This example is that deployment story on the `repro.pipeline`
+subsystem: `preprocess()` runs autoselect → reorder → hybrid split →
+compression once, the `ArtifactCache` content-addresses the result, and a
+`ServingSession` answers many inference requests — including through a GNN
+`Aggregator` — without ever re-running the search.
 
 Run:  python examples/serving_pipeline.py
 """
@@ -16,64 +17,57 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import find_best_pattern
+from repro.gnn.layers import GCNConv
 from repro.graphs import load_dataset
-from repro.sptc import (
-    CSRMatrix,
-    CostModel,
-    HybridVNM,
-    SpmmWorkload,
-    load_preprocessed,
-    save_preprocessed,
-)
-
-
-def offline_preprocess(path: Path) -> None:
-    graph = load_dataset("cora", seed=0, scale=0.3)
-    print(f"[offline] dataset: {graph.n} vertices, {graph.n_edges} edges")
-    t0 = time.perf_counter()
-    best = find_best_pattern(graph.bitmatrix(), max_iter=6)
-    print(f"[offline] best pattern {best.pattern} found in {time.perf_counter() - t0:.1f}s")
-    reordered = graph.relabel(best.result.permutation)
-    operand = HybridVNM.compress_csr(
-        reordered.csr(normalized=True, add_self_loops=True), best.pattern
-    ).main
-    save_preprocessed(path, operand=operand, permutation=best.result.permutation)
-    print(f"[offline] wrote {path} ({path.stat().st_size / 1024:.0f} KiB)")
-
-
-def serve(path: Path, n_requests: int = 5) -> None:
-    operand, perm = load_preprocessed(path)
-    print(f"[serve]   loaded operand {operand.pattern} shape {operand.shape}, "
-          f"permutation n={perm.n}")
-    cm = CostModel()
-    rng = np.random.default_rng(1)
-    total_model_time = 0.0
-    for i in range(n_requests):
-        # Each request: new feature batch, permute into the reordered basis,
-        # aggregate on the SPTC path, map the result back.
-        features = rng.random((operand.shape[1], 64))
-        permuted = features[perm.order]
-        out = operand.spmm(permuted)
-        restored = np.empty_like(out)
-        restored[perm.order] = out
-        total_model_time += cm.time_venom_spmm(operand, 64)
-        print(f"[serve]   request {i}: output {restored.shape}, "
-              f"modelled kernel {cm.time_venom_spmm(operand, 64) * 1e6:.1f}us")
-    csr_time = cm.time_csr_spmm(
-        SpmmWorkload(operand.shape[0], operand.shape[1],
-                     int((operand.values != 0).sum()), 64)
-    )
-    print(f"[serve]   per-request speedup vs CSR baseline: "
-          f"{csr_time / (total_model_time / n_requests):.2f}x — and the "
-          f"reordering cost was paid once, offline")
+from repro.pipeline import ArtifactCache, PreprocessPlan, ServingSession, preprocess
+from repro.sptc import SpmmWorkload
 
 
 def main() -> None:
+    graph = load_dataset("cora", seed=0, scale=0.3)
+    print(f"[offline] dataset: {graph.n} vertices, {graph.n_edges} edges")
+    plan = PreprocessPlan(max_iter=6)  # pattern=None → §5 progressive-doubling search
+
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "cora_preprocessed.npz"
-        offline_preprocess(path)
-        serve(path)
+        cache = ArtifactCache(Path(tmp) / "artifacts")
+
+        # -- offline: reorder once, persist the artefact -----------------------
+        t0 = time.perf_counter()
+        result = preprocess(graph, plan, cache=cache)
+        print(f"[offline] best pattern {result.pattern} found in "
+              f"{time.perf_counter() - t0:.1f}s (backend {result.backend})")
+        path = cache.path(result.cache_key)
+        print(f"[offline] wrote {path.name} ({path.stat().st_size / 1024:.0f} KiB), "
+              f"key {result.cache_key}")
+
+        # A second preprocessing run is a content-addressed cache hit: no
+        # reorder search, just a file load.
+        t0 = time.perf_counter()
+        again = preprocess(graph, plan, cache=cache)
+        print(f"[offline] re-preprocess: cache hit={again.cached} "
+              f"in {time.perf_counter() - t0 + 1e-3:.3f}s")
+
+        # -- serving: many requests against the cached artefact ----------------
+        session = ServingSession.from_result(again)
+        print(f"[serve]   {session}")
+        rng = np.random.default_rng(1)
+        for i in range(5):
+            features = rng.random((graph.n, 64))
+            out = session.spmm(features)
+            print(f"[serve]   request {i}: output {out.shape}, modelled kernel "
+                  f"{session.model_request_seconds(64) * 1e6:.1f}us")
+
+        # The same session drives GNN aggregation through the backend registry.
+        conv = GCNConv(graph.features.shape[1], 16, rng)
+        hidden = conv.forward(graph.features, session.aggregator())
+        print(f"[serve]   GCN layer on the session: hidden {hidden.shape}")
+
+        cm = session.cost_model
+        csr_time = cm.time_csr_spmm(SpmmWorkload.from_csr(graph.csr(), 64))
+        per_request = session.model_request_seconds(64)
+        print(f"[serve]   per-request speedup vs CSR baseline: "
+              f"{csr_time / per_request:.2f}x — and the reordering cost was "
+              f"paid once, offline ({cache.stats.hits} cache hit(s))")
 
 
 if __name__ == "__main__":

@@ -5,17 +5,25 @@ Usage::
     python -m repro reorder  INPUT.mtx [--pattern V:N:M] [--output OUT.mtx]
     python -m repro survey   INPUT.mtx [--h 128]
     python -m repro collection CLASS [--count N] [--seed S]
+    python -m repro preprocess INPUT.mtx [...] --cache-dir DIR [--workers N]
+    python -m repro serve INPUT.mtx --cache-dir DIR [--h 64] [--requests N]
 
 ``reorder`` writes the reordered (still symmetric) matrix and prints the
 conformity report; ``survey`` runs the best-pattern search and the modelled
 SpMM comparison for one matrix; ``collection`` prints Table-1-style stats of
-the synthetic SuiteSparse stand-in.
+the synthetic SuiteSparse stand-in; ``preprocess`` runs the offline
+pipeline (autoselect → reorder → compress) into a content-addressed
+artifact cache, fanning batches out over ``--workers`` processes; ``serve``
+answers SpMM requests from those artefacts and verifies the output against
+the dense reference.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+import numpy as np
 
 from .bench import render_table
 from .core import VNMPattern, find_best_pattern, reorder
@@ -86,6 +94,68 @@ def _cmd_collection(args) -> int:
     return 0
 
 
+def _build_plan(args):
+    from .pipeline import PreprocessPlan
+
+    return PreprocessPlan(
+        pattern=args.pattern,
+        backend=args.backend,
+        max_iter=args.max_iter,
+        time_budget=args.time_budget,
+    )
+
+
+def _cmd_preprocess(args) -> int:
+    from .pipeline import ArtifactCache, preprocess_many
+
+    graphs = [graph_from_mtx(path) for path in args.inputs]
+    cache = ArtifactCache(args.cache_dir)
+    results = preprocess_many(
+        graphs, _build_plan(args), n_workers=args.workers, cache=cache
+    )
+    for path, res in zip(args.inputs, results):
+        status = "cache hit" if res.cached else "preprocessed"
+        print(f"{path}: {status} — pattern {res.pattern}, backend {res.backend}, "
+              f"key {res.cache_key}")
+        if not res.cached and res.summary:
+            print(f"  reorder: {res.summary.get('iterations')} iterations, "
+                  f"improvement {res.summary.get('improvement_rate', 0.0):.2%}, "
+                  f"conforms {res.summary.get('conforms')}")
+    print(f"cache {cache.cache_dir}: {len(cache)} artefact(s), "
+          f"{cache.stats.hits} hit(s), {cache.stats.misses} miss(es)")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .pipeline import ArtifactCache, ServingSession, preprocess
+
+    graph = graph_from_mtx(args.input)
+    cache = ArtifactCache(args.cache_dir)
+    result = preprocess(graph, _build_plan(args), cache=cache)
+    print(f"{args.input}: {'loaded cached artefact' if result.cached else 'preprocessed'} "
+          f"(pattern {result.pattern}, backend {result.backend})")
+    session = ServingSession.from_result(result)
+
+    # Integer-valued features keep every partial sum exact, so the served
+    # output must match the dense reference bitwise, not just approximately.
+    rng = np.random.default_rng(args.seed)
+    reference_op = graph.dense_adjacency()
+    ok = True
+    for i in range(args.requests):
+        features = rng.integers(0, 1 << 10, size=(graph.n, args.h)).astype(np.float64)
+        out = session.spmm(features)
+        reference = reference_op @ features
+        bitwise = bool(np.array_equal(out, reference))
+        ok &= bitwise
+        print(f"request {i}: output {out.shape}, bitwise-equal to dense reference: {bitwise}")
+    cm = session.cost_model
+    t_csr = cm.time_csr_spmm(SpmmWorkload.from_csr(graph.csr(), args.h))
+    t_req = session.model_request_seconds(args.h)
+    print(f"modelled per-request time {t_req * 1e6:.1f}us "
+          f"({t_csr / t_req:.2f}x vs CSR baseline); served {session.n_requests} request(s)")
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = p.add_subparsers(dest="command", required=True)
@@ -110,6 +180,33 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--seed", type=int, default=0)
     c.add_argument("--diameter", action="store_true")
     c.set_defaults(fn=_cmd_collection)
+
+    def add_plan_args(sp, *, default_backend="hybrid"):
+        sp.add_argument("--pattern", type=parse_pattern, default=None,
+                        help="target V:N:M pattern (default: autoselect)")
+        sp.add_argument("--backend", default=default_backend,
+                        choices=["hybrid", "vnm", "nm", "csr", "bsr", "sell", "tcgnn", "dense"])
+        sp.add_argument("--cache-dir", default=".repro-cache")
+        sp.add_argument("--max-iter", type=int, default=10)
+        sp.add_argument("--time-budget", type=float, default=None)
+
+    pp = sub.add_parser("preprocess",
+                        help="offline pipeline: reorder + compress into the artifact cache")
+    pp.add_argument("inputs", nargs="+")
+    add_plan_args(pp)
+    pp.add_argument("--workers", type=int, default=None,
+                    help="process-pool size for batch preprocessing "
+                         "(default: REPRO_WORKERS or cores-1)")
+    pp.set_defaults(fn=_cmd_preprocess)
+
+    sv = sub.add_parser("serve",
+                        help="serve SpMM requests from cached artefacts; verifies vs dense")
+    sv.add_argument("input")
+    add_plan_args(sv)
+    sv.add_argument("--h", type=int, default=64)
+    sv.add_argument("--requests", type=int, default=3)
+    sv.add_argument("--seed", type=int, default=0)
+    sv.set_defaults(fn=_cmd_serve)
     return p
 
 

@@ -19,11 +19,14 @@ __all__ = ["Aggregator", "GCNConv", "SAGEConv", "ChebConv", "SGConv"]
 class Aggregator:
     """The graph operator used by the aggregation phase.
 
-    ``operator`` is any SpMM-capable adjacency representation (CSRMatrix,
-    VNMCompressed, NMCompressed, HybridVNM).  ``operator_t`` supplies the
-    transpose for backward when the operator is not symmetric (e.g. the mean
-    aggregator D⁻¹A); symmetric operators can omit it.  When a ``device`` is
-    attached every multiply advances its virtual clock under ``tag``.
+    ``operator`` is any operand registered with the pipeline backend
+    registry (CSRMatrix, VNMCompressed, NMCompressed, HybridVNM, BSR, SELL,
+    dense, a :class:`repro.pipeline.serving.ServingSession`, or a
+    third-party format).  ``operator_t`` supplies the transpose for backward
+    when the operator is not symmetric (e.g. the mean aggregator D⁻¹A);
+    symmetric operators can omit it.  When a ``device`` is attached every
+    multiply advances its virtual clock under ``tag``; a ServingSession
+    operator instead charges the device it owns.
     """
 
     def __init__(self, operator, operator_t=None, *, device=None, tag: str = "aggregation"):
@@ -35,12 +38,9 @@ class Aggregator:
     def _run(self, op, x: np.ndarray) -> np.ndarray:
         if self.device is not None:
             return self.device.spmm(op, x, tag=self.tag)
-        from ..sptc.hybrid import HybridVNM
-        from ..sptc.spmm import spmm
+        from ..pipeline.registry import dispatch_spmm
 
-        if isinstance(op, HybridVNM):
-            return op.spmm(x)
-        return spmm(op, x)
+        return dispatch_spmm(op, x)
 
     def mm(self, x: np.ndarray) -> np.ndarray:
         return self._run(self.operator, x)

@@ -21,6 +21,7 @@ from .core.bitmatrix import BitMatrix
 from .core.patterns import VNMPattern
 from .core.permutation import Permutation
 from .core.reorder import reorder
+from .core.scores import improvement_rate
 
 __all__ = ["ReorderSummary", "reorder_many", "default_workers"]
 
@@ -41,11 +42,7 @@ class ReorderSummary:
 
     @property
     def improvement_rate(self) -> float:
-        if self.initial_invalid_vectors == 0:
-            return 1.0 if self.final_invalid_vectors == 0 else 0.0
-        return (
-            self.initial_invalid_vectors - self.final_invalid_vectors
-        ) / self.initial_invalid_vectors
+        return improvement_rate(self.initial_invalid_vectors, self.final_invalid_vectors)
 
     @property
     def conforms(self) -> bool:
@@ -102,5 +99,5 @@ def reorder_many(
     if workers <= 1 or len(jobs) <= 1:
         return [_job(j) for j in jobs]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        out = list(pool.map(_job, jobs, chunksize=max(1, len(jobs) // (workers * 4))))
-    return sorted(out, key=lambda s: s.index)
+        # pool.map yields results in input order, so no re-sort is needed.
+        return list(pool.map(_job, jobs, chunksize=max(1, len(jobs) // (workers * 4))))

@@ -1,0 +1,48 @@
+"""The preprocess → cache → serve pipeline (paper §4.4 as a subsystem).
+
+* :mod:`repro.pipeline.registry` — pluggable backend registry; the single
+  dispatch point for every SpMM call site (kernels, device, GNN layers).
+* :mod:`repro.pipeline.preprocess` — declarative offline preprocessing:
+  pattern autoselect → reordering → hybrid split → compression, with batch
+  mode over the process pool.
+* :mod:`repro.pipeline.cache` — content-addressed artifact cache so the
+  reorder search runs once per (graph, plan).
+* :mod:`repro.pipeline.serving` — the permute-in / SpMM / permute-back
+  request cycle, consumable by :class:`repro.gnn.layers.Aggregator`.
+"""
+
+from .cache import ArtifactCache, CacheStats, adjacency_fingerprint, cache_key
+from .preprocess import PreprocessPlan, PreprocessResult, preprocess, preprocess_many
+from .registry import (
+    Backend,
+    available_backends,
+    backend_for,
+    compress,
+    dispatch_spmm,
+    get_backend,
+    model_spmm_time,
+    register_backend,
+    unregister_backend,
+)
+from .serving import ServingSession
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "backend_for",
+    "available_backends",
+    "dispatch_spmm",
+    "model_spmm_time",
+    "compress",
+    "PreprocessPlan",
+    "PreprocessResult",
+    "preprocess",
+    "preprocess_many",
+    "ArtifactCache",
+    "CacheStats",
+    "cache_key",
+    "adjacency_fingerprint",
+    "ServingSession",
+]

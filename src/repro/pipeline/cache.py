@@ -1,0 +1,115 @@
+"""Content-addressed cache of preprocessing artefacts.
+
+Reordering is the expensive offline step; its outputs (permutation +
+compressed operand) are pure functions of the adjacency structure and the
+preprocessing plan.  This cache keys artefacts by
+``sha256(adjacency bytes, pattern, plan knobs, serialize format version)``
+and stores them via :mod:`repro.sptc.serialize`, so preprocessing the same
+graph twice is a file load, not a re-search — the paper's §4.4 "reorder
+once, reuse across many inferences" deployment story made automatic.
+
+The key covers everything that changes the artefact:
+
+* the exact bit structure of the (self-looped, if requested) adjacency,
+* the target pattern (or ``"auto"`` plus the selection policy),
+* every reorder knob (``max_iter``, ``time_budget``, extra kwargs),
+* the backend name and the on-disk ``_FORMAT_VERSION`` — bumping the
+  serializer invalidates every stale artefact at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.bitmatrix import BitMatrix
+from ..sptc import serialize
+from .preprocess import PreprocessPlan
+
+__all__ = ["ArtifactCache", "CacheStats", "cache_key", "adjacency_fingerprint"]
+
+
+def adjacency_fingerprint(bm: BitMatrix) -> str:
+    """Hex digest of the exact bit structure (shape + packed words)."""
+    digest = hashlib.sha256()
+    digest.update(f"{bm.n_rows}x{bm.n_cols}:".encode())
+    digest.update(bm.words.tobytes())
+    return digest.hexdigest()
+
+
+def cache_key(bm: BitMatrix, plan: PreprocessPlan) -> str:
+    """Content address of the artefact ``plan`` would produce for ``bm``."""
+    payload = {
+        "adjacency": adjacency_fingerprint(bm),
+        "format_version": serialize._FORMAT_VERSION,
+        **plan.key_fields(),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ArtifactCache:
+    """A directory of ``<key>.npz`` artefacts with hit/miss accounting."""
+
+    def __init__(self, cache_dir):
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.npz"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return len(list(self.cache_dir.glob("*.npz")))
+
+    def load(self, key: str):
+        """Return ``(operand, permutation)`` or ``None`` on a miss.
+
+        A corrupt or version-mismatched artefact counts as a miss (and is
+        removed) rather than failing the preprocessing run.
+        """
+        path = self.path(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            artefact = serialize.load_preprocessed(path)
+        except (ValueError, OSError, KeyError):
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return artefact
+
+    def store(self, key: str, operand, permutation) -> Path:
+        path = self.path(key)
+        serialize.save_preprocessed(path, operand=operand, permutation=permutation)
+        self.stats.stores += 1
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one artefact; returns whether it existed."""
+        path = self.path(key)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        return existed
+
+    def clear(self) -> int:
+        """Drop every artefact; returns how many were removed."""
+        removed = 0
+        for path in self.cache_dir.glob("*.npz"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,234 @@
+"""Offline preprocessing: autoselect → reorder → split → compress.
+
+One :class:`PreprocessPlan` describes everything the offline step does to a
+graph — which V:N:M pattern to target (or to auto-search), how hard to try,
+which operator structure to build (raw / normalized / self-looped adjacency)
+and which serving backend to compress for.  :func:`preprocess` executes the
+plan on one graph; :func:`preprocess_many` fans a batch out through
+:mod:`repro.parallel`'s process pool.  Both consult an optional
+:class:`~repro.pipeline.cache.ArtifactCache` first, so repeated
+preprocessing of the same graph is a load, not a re-search (paper §4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.autoselect import find_best_pattern
+from ..core.bitmatrix import BitMatrix
+from ..core.patterns import VNMPattern
+from ..core.permutation import Permutation
+from ..core.reorder import reorder
+from ..core.scores import improvement_rate
+from ..graphs.graph import Graph
+from ..parallel import reorder_many
+from ..sptc.csr import CSRMatrix
+from . import registry
+
+__all__ = ["PreprocessPlan", "PreprocessResult", "preprocess", "preprocess_many"]
+
+# Backends whose operands the artifact cache can persist (see sptc/serialize).
+_CACHEABLE_BACKENDS = ("vnm", "hybrid")
+
+
+@dataclass(frozen=True)
+class PreprocessPlan:
+    """Declarative description of one offline preprocessing run.
+
+    ``pattern=None`` runs the paper's §5 progressive-doubling search
+    (:func:`find_best_pattern`) with the ``select`` policy; a concrete
+    :class:`VNMPattern` skips the search.  ``normalized`` /
+    ``add_self_loops`` choose the operator structure that gets compressed
+    (GCN's Â needs both; plain SpMM serving wants the raw adjacency).
+    """
+
+    pattern: VNMPattern | None = None
+    backend: str = "hybrid"
+    max_iter: int = 10
+    time_budget: float | None = None
+    select: str = "fastest"
+    normalized: bool = False
+    add_self_loops: bool = False
+    reorder_kwargs: dict = field(default_factory=dict)
+
+    def key_fields(self) -> dict:
+        """The plan fields that determine the artifact — the cache-key input."""
+        return {
+            "pattern": str(self.pattern) if self.pattern is not None else "auto",
+            "backend": self.backend,
+            "max_iter": self.max_iter,
+            "time_budget": self.time_budget,
+            "select": self.select,
+            "normalized": self.normalized,
+            "add_self_loops": self.add_self_loops,
+            "reorder_kwargs": sorted(self.reorder_kwargs.items()),
+        }
+
+
+@dataclass
+class PreprocessResult:
+    """Everything serving needs: the operand, its basis, and provenance."""
+
+    pattern: VNMPattern
+    permutation: Permutation
+    operand: Any
+    backend: str
+    cached: bool = False
+    cache_key: str | None = None
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def improvement_rate(self) -> float:
+        return improvement_rate(
+            self.summary.get("initial_invalid_vectors", 0),
+            self.summary.get("final_invalid_vectors", 0),
+        )
+
+
+def _reorder_target(graph: Graph | BitMatrix, plan: PreprocessPlan) -> BitMatrix:
+    """The bit structure the reordering optimizes: A, or A + I with loops."""
+    bm = graph.bitmatrix() if isinstance(graph, Graph) else graph
+    if plan.add_self_loops:
+        bm = bm.copy()
+        for i in range(bm.n_rows):
+            bm.set(i, i, 1)
+    return bm
+
+
+def _operator_csr(graph: Graph | BitMatrix, perm: Permutation, plan: PreprocessPlan) -> CSRMatrix:
+    """The reordered numeric operator that gets compressed."""
+    if isinstance(graph, Graph):
+        return graph.relabel(perm).csr(
+            normalized=plan.normalized, add_self_loops=plan.add_self_loops
+        )
+    reordered = graph.permute_rows(perm.order).permute_columns(perm.order)
+    if plan.add_self_loops:
+        for i in range(reordered.n_rows):
+            reordered.set(i, i, 1)
+    return CSRMatrix.from_scipy(reordered.to_scipy())
+
+
+def _search_or_reorder(bm: BitMatrix, plan: PreprocessPlan):
+    """Run the pattern search (pattern=None) or a direct reorder; returns
+    ``(pattern, permutation, summary)``."""
+    if plan.pattern is None:
+        # reorder_kwargs are reorder()-specific knobs; the pattern search
+        # drives reorder() itself, so they do not apply here.
+        best = find_best_pattern(
+            bm, max_iter=plan.max_iter, select=plan.select,
+            attempt_time_budget=plan.time_budget or 30.0,
+        )
+        if not best.succeeded:
+            raise ValueError("no conforming V:N:M pattern found; pass an explicit pattern")
+        return best.pattern, best.result.permutation, best.result.summary()
+    res = reorder(
+        bm, plan.pattern, max_iter=plan.max_iter,
+        time_budget=plan.time_budget, **plan.reorder_kwargs,
+    )
+    return plan.pattern, res.permutation, res.summary()
+
+
+def preprocess(
+    graph: Graph | BitMatrix,
+    plan: PreprocessPlan | None = None,
+    *,
+    cache=None,
+) -> PreprocessResult:
+    """Execute ``plan`` on one graph, going through ``cache`` when given."""
+    plan = plan or PreprocessPlan()
+    bm = _reorder_target(graph, plan)
+
+    key = None
+    if cache is not None and plan.backend in _CACHEABLE_BACKENDS:
+        from .cache import cache_key
+
+        key = cache_key(bm, plan)
+        hit = cache.load(key)
+        if hit is not None:
+            operand, perm = hit
+            return PreprocessResult(
+                pattern=operand.pattern, permutation=perm, operand=operand,
+                backend=plan.backend, cached=True, cache_key=key,
+            )
+
+    pattern, perm, summary = _search_or_reorder(bm, plan)
+    csr = _operator_csr(graph, perm, plan)
+    operand = registry.compress(csr, plan.backend, pattern)
+
+    if key is not None:
+        cache.store(key, operand, perm)
+    return PreprocessResult(
+        pattern=pattern, permutation=perm, operand=operand,
+        backend=plan.backend, cached=False, cache_key=key, summary=summary,
+    )
+
+
+def preprocess_many(
+    graphs: list,
+    plan: PreprocessPlan | None = None,
+    *,
+    n_workers: int | None = None,
+    cache=None,
+) -> list[PreprocessResult]:
+    """Batch preprocessing; the reorder stage fans out over a process pool.
+
+    Cache hits are answered up front; only the misses go to the workers.
+    With ``plan.pattern=None`` the per-graph pattern search runs inline
+    (the search's candidate reorderings are themselves the expensive part
+    and differ per graph, so there is no shared batch to fan out).
+    """
+    plan = plan or PreprocessPlan()
+    results: list[PreprocessResult | None] = [None] * len(graphs)
+
+    pending: list[int] = []
+    keys: list[str | None] = [None] * len(graphs)
+    for i, graph in enumerate(graphs):
+        if cache is not None and plan.backend in _CACHEABLE_BACKENDS:
+            from .cache import cache_key
+
+            key = cache_key(_reorder_target(graph, plan), plan)
+            keys[i] = key
+            hit = cache.load(key)
+            if hit is not None:
+                operand, perm = hit
+                results[i] = PreprocessResult(
+                    pattern=operand.pattern, permutation=perm, operand=operand,
+                    backend=plan.backend, cached=True, cache_key=key,
+                )
+                continue
+        pending.append(i)
+
+    if pending and plan.pattern is not None:
+        mats = [_reorder_target(graphs[i], plan) for i in pending]
+        summaries = reorder_many(
+            mats, plan.pattern,
+            n_workers=n_workers,
+            max_iter=plan.max_iter,
+            time_budget=plan.time_budget,
+            **plan.reorder_kwargs,
+        )
+        for i, summ in zip(pending, summaries):
+            perm = summ.permutation
+            csr = _operator_csr(graphs[i], perm, plan)
+            operand = registry.compress(csr, plan.backend, plan.pattern)
+            if keys[i] is not None:
+                cache.store(keys[i], operand, perm)
+            results[i] = PreprocessResult(
+                pattern=plan.pattern, permutation=perm, operand=operand,
+                backend=plan.backend, cached=False, cache_key=keys[i],
+                summary={
+                    "pattern": summ.pattern,
+                    "iterations": summ.iterations,
+                    "initial_invalid_vectors": summ.initial_invalid_vectors,
+                    "final_invalid_vectors": summ.final_invalid_vectors,
+                    "improvement_rate": summ.improvement_rate,
+                    "conforms": summ.conforms,
+                    "elapsed_seconds": summ.elapsed_seconds,
+                },
+            )
+    else:
+        for i in pending:
+            results[i] = preprocess(graphs[i], plan, cache=cache)
+
+    return results  # type: ignore[return-value]

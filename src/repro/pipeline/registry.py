@@ -1,0 +1,233 @@
+"""Pluggable SpMM backend registry — the pipeline's dispatch layer.
+
+Every operand format the system can serve (CSR, N:M, V:N:M, hybrid, BSR,
+SELL-C-σ, TC-GNN tiles, dense) is described by one :class:`Backend` record
+bundling the three things the rest of the stack needs:
+
+* ``compress`` — how to build the operand from a (reordered) CSR matrix,
+* ``spmm`` — the numerically exact kernel,
+* ``model_time`` — the cost-model entry charged by the virtual-clock device.
+
+``repro.sptc.spmm.spmm``, ``EmulatedDevice.spmm`` and
+``gnn.layers.Aggregator`` all route through :func:`backend_for` /
+:func:`dispatch_spmm` instead of per-call-site ``isinstance`` chains, so a
+third party adding a format (:func:`register_backend`) extends the kernel
+dispatch, the device's timing, and the GNN aggregation path at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..core.patterns import NMPattern, VNMPattern
+from ..sptc.bsr import BSRMatrix
+from ..sptc.costmodel import CostModel, SpmmWorkload
+from ..sptc.csr import CSRMatrix
+from ..sptc.hybrid import HybridVNM
+from ..sptc.nm_format import NMCompressed
+from ..sptc.sell import SellCSigma
+from ..sptc.spmm import csr_spmm, dense_spmm, nm_spmm, venom_spmm
+from ..sptc.tcgnn import TCGNNBlocked
+from ..sptc.venom import VNMCompressed
+
+__all__ = [
+    "Backend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "backend_for",
+    "available_backends",
+    "dispatch_spmm",
+    "model_spmm_time",
+    "compress",
+]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One serving backend: format name → (compressor, kernel, cost entry).
+
+    ``compress(csr, pattern)`` builds the operand from a reordered CSR matrix
+    (``pattern`` may be ignored by unstructured formats).  ``spmm(a, b)`` is
+    the exact kernel.  ``model_time(cost_model, a, h)`` is the modelled A100
+    launch time the emulated device charges; ``None`` means the backend owns
+    its own timing (e.g. a :class:`~repro.pipeline.serving.ServingSession`).
+    ``kernel_name`` labels the device's :class:`KernelRecord` entries.
+    """
+
+    name: str
+    operand_types: tuple[type, ...]
+    spmm: Callable[[Any, np.ndarray], np.ndarray]
+    compress: Callable[[CSRMatrix, VNMPattern | None], Any] | None = None
+    model_time: Callable[[CostModel, Any, int], float] | None = None
+    kernel_name: str = ""
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(backend: Backend, *, overwrite: bool = False) -> Backend:
+    """Add a backend; third parties use this to plug new formats in.
+
+    Raises ``ValueError`` when the name or one of the operand types is
+    already claimed, unless ``overwrite`` is set.
+    """
+    if not overwrite:
+        if backend.name in _REGISTRY:
+            raise ValueError(f"backend {backend.name!r} is already registered")
+        for existing in _REGISTRY.values():
+            taken = set(existing.operand_types) & set(backend.operand_types)
+            if taken:
+                raise ValueError(
+                    f"operand type(s) {sorted(t.__name__ for t in taken)} already "
+                    f"handled by backend {existing.name!r}"
+                )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> Backend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from None
+
+
+def backend_for(operand: Any) -> Backend:
+    """Resolve the backend handling ``operand``'s type (the dispatch lookup)."""
+    cls = type(operand)
+    for backend in _REGISTRY.values():
+        if cls in backend.operand_types:
+            return backend
+    # Subclass fallback (np.matrix-style subtypes, user format hierarchies).
+    for backend in _REGISTRY.values():
+        if isinstance(operand, backend.operand_types):
+            return backend
+    raise TypeError(f"unsupported operand type {cls.__name__}")
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(_REGISTRY)
+
+
+def dispatch_spmm(a: Any, b: np.ndarray) -> np.ndarray:
+    """Run the registered SpMM kernel for ``a``'s format."""
+    return backend_for(a).spmm(a, b)
+
+
+def model_spmm_time(cost_model: CostModel, a: Any, h: int) -> float:
+    """Cost-model launch time of one SpMM on operand ``a`` with width ``h``."""
+    backend = backend_for(a)
+    if backend.model_time is None:
+        return 0.0
+    return backend.model_time(cost_model, a, h)
+
+
+def compress(csr: CSRMatrix, backend: str, pattern: VNMPattern | None = None) -> Any:
+    """Build backend ``backend``'s operand from a (reordered) CSR matrix."""
+    entry = get_backend(backend)
+    if entry.compress is None:
+        raise ValueError(f"backend {backend!r} has no compressor")
+    return entry.compress(csr, pattern)
+
+
+# -- built-in backends ---------------------------------------------------------
+
+def _require_pattern(pattern: VNMPattern | None, backend: str) -> VNMPattern:
+    if pattern is None:
+        raise ValueError(f"backend {backend!r} needs a V:N:M pattern to compress")
+    return pattern
+
+
+def _compress_nm(csr: CSRMatrix, pattern: VNMPattern | None) -> NMCompressed:
+    pat = _require_pattern(pattern, "nm")
+    return NMCompressed.compress(csr.to_dense(), NMPattern(pat.n, pat.m))
+
+
+def _compress_bsr(csr: CSRMatrix, pattern: VNMPattern | None) -> BSRMatrix:
+    block = pattern.m if pattern is not None else 16
+    return BSRMatrix.from_csr(csr, block)
+
+
+register_backend(Backend(
+    name="csr",
+    operand_types=(CSRMatrix,),
+    spmm=csr_spmm,
+    compress=lambda csr, pattern=None: csr,
+    model_time=lambda cm, a, h: cm.time_csr_spmm(SpmmWorkload.from_csr(a, h)),
+    kernel_name="csr_spmm",
+))
+
+register_backend(Backend(
+    name="nm",
+    operand_types=(NMCompressed,),
+    spmm=nm_spmm,
+    compress=_compress_nm,
+    model_time=lambda cm, a, h: cm.time_nm_spmm(a, h),
+    kernel_name="nm_spmm",
+))
+
+register_backend(Backend(
+    name="vnm",
+    operand_types=(VNMCompressed,),
+    spmm=venom_spmm,
+    compress=lambda csr, pattern=None: VNMCompressed.compress_csr(
+        csr, _require_pattern(pattern, "vnm")),
+    model_time=lambda cm, a, h: cm.time_venom_spmm(a, h),
+    kernel_name="venom_spmm",
+))
+
+register_backend(Backend(
+    name="hybrid",
+    operand_types=(HybridVNM,),
+    spmm=lambda a, b: a.spmm(b),
+    compress=lambda csr, pattern=None: HybridVNM.compress_csr(
+        csr, _require_pattern(pattern, "hybrid")),
+    model_time=lambda cm, a, h: a.model_time(cm, h),
+    kernel_name="hybrid_spmm",
+))
+
+register_backend(Backend(
+    name="bsr",
+    operand_types=(BSRMatrix,),
+    spmm=lambda a, b: a.matmat(b),
+    compress=_compress_bsr,
+    model_time=lambda cm, a, h: cm.time_bsr_spmm(a, h),
+    kernel_name="bsr_spmm",
+))
+
+register_backend(Backend(
+    name="sell",
+    operand_types=(SellCSigma,),
+    spmm=lambda a, b: a.matmat(b),
+    compress=lambda csr, pattern=None: SellCSigma.from_csr(csr),
+    model_time=lambda cm, a, h: cm.time_sell_spmm(a, h),
+    kernel_name="sell_spmm",
+))
+
+register_backend(Backend(
+    name="tcgnn",
+    operand_types=(TCGNNBlocked,),
+    spmm=lambda a, b: a.spmm(b),
+    compress=lambda csr, pattern=None: TCGNNBlocked.from_csr(csr),
+    model_time=lambda cm, a, h: cm.time_tcgnn_spmm(a, h),
+    kernel_name="tcgnn_spmm",
+))
+
+register_backend(Backend(
+    name="dense",
+    operand_types=(np.ndarray,),
+    spmm=dense_spmm,
+    compress=lambda csr, pattern=None: csr.to_dense(),
+    model_time=lambda cm, a, h: cm.time_dense_gemm(a.shape[0], a.shape[1], h),
+    kernel_name="dense_gemm",
+))

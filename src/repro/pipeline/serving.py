@@ -1,0 +1,132 @@
+"""Online serving over preprocessed artefacts.
+
+A :class:`ServingSession` owns the full request cycle the paper's §4.4
+deployment runs per inference: gather the features into the reordered basis
+(``x[perm]``), SpMM on the compressed operand through the backend registry
+(or a virtual-clock device), and scatter the result back to the original
+vertex order.  Sessions are themselves registered as a registry backend, so
+:class:`repro.gnn.layers.Aggregator` — and anything else that dispatches
+through :func:`repro.pipeline.registry.dispatch_spmm` — consumes them like
+any other operand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.permutation import Permutation
+from ..sptc.costmodel import CostModel
+from . import registry
+
+__all__ = ["ServingSession"]
+
+
+class ServingSession:
+    """Permute-in / SpMM / permute-back over one preprocessed operand.
+
+    ``operand`` is any registry-dispatchable format (typically the
+    ``HybridVNM`` or ``VNMCompressed`` a :func:`~repro.pipeline.preprocess.
+    preprocess` run produced).  ``permutation`` maps the reordered basis back
+    to the caller's vertex order; ``None`` serves in the operand's own basis.
+    With a ``device`` every request advances that device's virtual clock
+    under ``tag``; without one, requests accumulate cost-model time locally
+    in :attr:`modelled_seconds`.
+    """
+
+    def __init__(
+        self,
+        operand,
+        permutation: Permutation | None = None,
+        *,
+        device=None,
+        cost_model: CostModel | None = None,
+        tag: str = "serving",
+    ):
+        self.operand = operand
+        self.permutation = permutation
+        self.device = device
+        self.cost_model = cost_model or CostModel()
+        self.tag = tag
+        self.n_requests = 0
+        self.modelled_seconds = 0.0
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, path, **kwargs) -> "ServingSession":
+        """Open a session over a ``save_preprocessed`` artefact on disk."""
+        from ..sptc.serialize import load_preprocessed
+
+        operand, permutation = load_preprocessed(path)
+        return cls(operand, permutation, **kwargs)
+
+    @classmethod
+    def from_result(cls, result, **kwargs) -> "ServingSession":
+        """Open a session over a :class:`PreprocessResult`."""
+        return cls(result.operand, result.permutation, **kwargs)
+
+    # -- properties --------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.operand.shape
+
+    @property
+    def backend_name(self) -> str:
+        return registry.backend_for(self.operand).name
+
+    # -- the request cycle -------------------------------------------------
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """One inference request: ``A @ x`` in the caller's vertex order."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.shape[1]:
+            raise ValueError(
+                f"feature rows {x.shape[0]} != operand columns {self.shape[1]}"
+            )
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        if self.permutation is not None:
+            x = x[self.permutation.order]
+        if self.device is not None:
+            out = self.device.spmm(self.operand, x, tag=self.tag)
+        else:
+            out = registry.dispatch_spmm(self.operand, x)
+            self.modelled_seconds += registry.model_spmm_time(
+                self.cost_model, self.operand, x.shape[1]
+            )
+        if self.permutation is not None:
+            restored = np.empty_like(out)
+            restored[self.permutation.order] = out
+            out = restored
+        self.n_requests += 1
+        return out[:, 0] if squeeze else out
+
+    # Aggregator (and any dispatch_spmm caller) treats a session like an
+    # operand, so mm/mm_t spell out the symmetric-operator convention.
+    def mm(self, x: np.ndarray) -> np.ndarray:
+        return self.spmm(x)
+
+    def aggregator(self, **kwargs):
+        """An :class:`~repro.gnn.layers.Aggregator` running on this session."""
+        from ..gnn.layers import Aggregator
+
+        return Aggregator(self, **kwargs)
+
+    def model_request_seconds(self, h: int) -> float:
+        """Cost-model time of one request at feature width ``h``."""
+        return registry.model_spmm_time(self.cost_model, self.operand, h)
+
+    def __repr__(self) -> str:
+        return (
+            f"ServingSession(backend={self.backend_name!r}, shape={self.shape}, "
+            f"requests={self.n_requests})"
+        )
+
+
+# Sessions dispatch like operands: Aggregator and friends need no special
+# case, and a session's own permutation/device handling stays in charge.
+registry.register_backend(registry.Backend(
+    name="serving",
+    operand_types=(ServingSession,),
+    spmm=lambda session, b: session.spmm(b),
+    kernel_name="serving_session",
+), overwrite=True)

@@ -150,6 +150,44 @@ class CostModel:
         )
         return p.kernel_launch + max(compute, traffic / p.mem_bandwidth)
 
+    def time_bsr_spmm(self, a, h: int) -> float:
+        """Dense-block SpMM over BSR: every stored block multiplies densely.
+
+        Same mechanism as the TC-GNN model — block² slots compute regardless
+        of the sparsity inside each block, and the full dense block values
+        stream from memory.
+        """
+        p = self.params
+        stored = a.blocks.size
+        flops = 2.0 * stored * h
+        compute = flops / p.tc_dense_flops
+        b_bytes = a.shape[1] * h * p.value_bytes_tc
+        miss = self._miss_fraction(b_bytes, p.sptc_gather_miss_floor) * p.sptc_locality
+        traffic = (
+            a.storage_bytes()
+            + a.bcol_ind.size * a.block * h * p.value_bytes_tc * miss
+            + a.shape[0] * h * p.value_bytes_tc
+        )
+        return p.kernel_launch + max(compute, traffic / p.mem_bandwidth)
+
+    def time_sell_spmm(self, a, h: int) -> float:
+        """SELL-C-σ SpMM on CUDA cores: regular slices, padded lanes compute.
+
+        Padding removes the row-length imbalance penalty CSR pays but every
+        padded slot still multiplies and its column index still streams.
+        """
+        p = self.params
+        flops = 2.0 * a.padded_entries * h
+        compute = flops / p.cuda_spmm_flops
+        b_bytes = a.shape[1] * h * p.value_bytes_dense
+        miss = self._miss_fraction(b_bytes, p.csr_gather_miss_floor)
+        traffic = (
+            a.storage_bytes()
+            + a.padded_entries * h * p.value_bytes_dense * miss
+            + a.shape[0] * h * p.value_bytes_dense
+        )
+        return p.kernel_launch + max(compute, traffic / p.mem_bandwidth)
+
     def time_tcgnn_spmm(self, a, h: int) -> float:
         """Dense-tensor-core SpMM over a TC-GNN-style blocked operand.
 

@@ -94,15 +94,21 @@ class EmulatedDevice:
         return a.spmm(b)
 
     def spmm(self, a, b: np.ndarray, *, tag: str = "spmm") -> np.ndarray:
-        if isinstance(a, CSRMatrix):
-            return self.spmm_csr(a, b, tag=tag)
-        if isinstance(a, VNMCompressed):
-            return self.spmm_venom(a, b, tag=tag)
-        if isinstance(a, NMCompressed):
-            return self.spmm_nm(a, b, tag=tag)
-        if isinstance(a, HybridVNM):
-            return self.spmm_hybrid(a, b, tag=tag)
-        raise TypeError(f"unsupported sparse operand {type(a).__name__}")
+        """Launch the SpMM backend registered for ``a``'s format.
+
+        One registry lookup supplies the kernel, the cost-model entry, and
+        the record label — any format registered via
+        :func:`repro.pipeline.registry.register_backend` (including
+        third-party ones) runs on the virtual clock without device changes.
+        """
+        from ..pipeline.registry import backend_for  # lazy: registry imports kernels
+
+        backend = backend_for(a)
+        seconds = 0.0
+        if backend.model_time is not None:
+            seconds = backend.model_time(self.cost_model, a, b.shape[1])
+        self._launch(backend.kernel_name or backend.name, seconds, tag)
+        return backend.spmm(a, b)
 
     def gemm(self, a: np.ndarray, b: np.ndarray, *, tensor_core: bool = True, tag: str = "gemm") -> np.ndarray:
         m, k = a.shape

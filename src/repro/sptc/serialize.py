@@ -3,8 +3,13 @@
 The reordering is an offline step whose outputs get reused "repeatedly
 across many inferences" (paper §1/§4.4).  This module saves and loads those
 artefacts — the vertex permutation, the chosen pattern, and the compressed
-V:N:M operand — as a single ``.npz`` so a serving process never re-runs the
-search.
+operand — as a single ``.npz`` so a serving process never re-runs the
+search.  Both the bare :class:`VNMCompressed` operand and the lossless
+:class:`HybridVNM` (V:N:M main part + CSR residual) round-trip; the artifact
+cache in :mod:`repro.pipeline.cache` is layered on this format.
+
+Format version 2 added the optional hybrid-residual arrays; loading any
+other version raises ``ValueError``.
 """
 
 from __future__ import annotations
@@ -15,22 +20,30 @@ import numpy as np
 
 from ..core.patterns import VNMPattern
 from ..core.permutation import Permutation
+from .csr import CSRMatrix
+from .hybrid import HybridVNM
 from .venom import VNMCompressed
 
 __all__ = ["save_preprocessed", "load_preprocessed"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def save_preprocessed(
     path,
     *,
-    operand: VNMCompressed,
+    operand: VNMCompressed | HybridVNM,
     permutation: Permutation | None = None,
 ) -> None:
     """Write a compressed operand (and optionally its permutation) to ``path``."""
+    residual: CSRMatrix | None = None
+    is_hybrid = isinstance(operand, HybridVNM)
+    if is_hybrid:
+        residual = operand.residual
+        operand = operand.main
     arrays = {
         "format_version": np.array([_FORMAT_VERSION]),
+        "is_hybrid": np.array([int(is_hybrid)]),
         "pattern": np.array([operand.pattern.v, operand.pattern.n, operand.pattern.m, operand.pattern.k]),
         "shape": np.array(operand.shape),
         "tile_ptr": operand.tile_ptr,
@@ -40,19 +53,23 @@ def save_preprocessed(
         "meta": operand.meta,
         "n_live_cols": np.array([operand.n_live_cols]),
     }
+    if residual is not None:
+        arrays["residual_indptr"] = residual.indptr
+        arrays["residual_indices"] = residual.indices
+        arrays["residual_data"] = residual.data
     if permutation is not None:
         arrays["permutation"] = permutation.order
     np.savez_compressed(Path(path), **arrays)
 
 
-def load_preprocessed(path) -> tuple[VNMCompressed, Permutation | None]:
+def load_preprocessed(path) -> tuple[VNMCompressed | HybridVNM, Permutation | None]:
     """Inverse of :func:`save_preprocessed`."""
     with np.load(Path(path)) as data:
         version = int(data["format_version"][0])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported preprocessed-file version {version}")
         v, n, m, k = (int(x) for x in data["pattern"])
-        operand = VNMCompressed(
+        operand: VNMCompressed | HybridVNM = VNMCompressed(
             VNMPattern(v, n, m, k),
             tuple(int(x) for x in data["shape"]),
             data["tile_ptr"].copy(),
@@ -62,5 +79,15 @@ def load_preprocessed(path) -> tuple[VNMCompressed, Permutation | None]:
             data["meta"].copy(),
             n_live_cols=int(data["n_live_cols"][0]),
         )
+        if "is_hybrid" in data and int(data["is_hybrid"][0]):
+            residual = None
+            if "residual_indptr" in data:
+                residual = CSRMatrix(
+                    data["residual_indptr"].copy(),
+                    data["residual_indices"].copy(),
+                    data["residual_data"].copy(),
+                    operand.shape,
+                )
+            operand = HybridVNM(operand, residual)
         perm = Permutation(data["permutation"].copy()) if "permutation" in data else None
     return operand, perm

@@ -42,13 +42,7 @@ def dense_spmm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def spmm(a, b: np.ndarray) -> np.ndarray:
-    """Dispatch on operand type."""
-    if isinstance(a, CSRMatrix):
-        return csr_spmm(a, b)
-    if isinstance(a, NMCompressed):
-        return nm_spmm(a, b)
-    if isinstance(a, VNMCompressed):
-        return venom_spmm(a, b)
-    if isinstance(a, np.ndarray):
-        return dense_spmm(a, b)
-    raise TypeError(f"unsupported operand type {type(a).__name__}")
+    """Dispatch on operand type via the pipeline backend registry."""
+    from ..pipeline.registry import dispatch_spmm  # lazy: registry imports this module
+
+    return dispatch_spmm(a, b)

@@ -1,0 +1,108 @@
+"""PreprocessPlan execution: single, autoselect, and batch modes."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix, VNMPattern, reorder
+from repro.graphs import sbm_graph
+from repro.pipeline import ArtifactCache, PreprocessPlan, preprocess, preprocess_many
+
+PATTERN = VNMPattern(1, 2, 4)
+
+
+def make_graph(seed=0, n=80):
+    g, _ = sbm_graph(n, 3, 0.15, 0.01, np.random.default_rng(seed))
+    return g
+
+
+def make_bms(count, seed=0, n=48):
+    out = []
+    for i in range(count):
+        rng = np.random.default_rng(seed + i)
+        a = rng.random((n, n)) < 0.06
+        a = (a | a.T).astype(np.uint8)
+        np.fill_diagonal(a, 0)
+        out.append(BitMatrix.from_dense(a))
+    return out
+
+
+class TestPreprocess:
+    def test_explicit_pattern_is_lossless(self):
+        g = make_graph()
+        res = preprocess(g, PreprocessPlan(pattern=PATTERN))
+        assert res.pattern == PATTERN
+        res.permutation.validate()
+        # The operand is the reordered adjacency, exactly.
+        reordered = g.relabel(res.permutation).dense_adjacency()
+        assert np.allclose(res.operand.decompress(), reordered)
+
+    def test_matches_direct_reorder(self):
+        bm = make_bms(1)[0]
+        res = preprocess(bm, PreprocessPlan(pattern=PATTERN))
+        direct = reorder(bm, PATTERN, max_iter=10)
+        assert np.array_equal(res.permutation.order, direct.permutation.order)
+        assert res.summary["final_invalid_vectors"] == direct.final_invalid_vectors
+
+    def test_autoselect(self):
+        g = make_graph()
+        res = preprocess(g, PreprocessPlan(max_iter=4))
+        assert res.pattern is not None
+        assert res.summary.get("conforms")
+
+    def test_add_self_loops_targets_a_plus_i(self):
+        g = make_graph()
+        res = preprocess(g, PreprocessPlan(pattern=PATTERN, add_self_loops=True,
+                                           normalized=True))
+        ref = g.relabel(res.permutation).dense_adjacency(
+            normalized=True, add_self_loops=True)
+        assert np.allclose(res.operand.decompress(), ref)
+
+    def test_backend_choice(self):
+        g = make_graph()
+        res = preprocess(g, PreprocessPlan(pattern=PATTERN, backend="vnm"))
+        from repro.sptc import VNMCompressed
+
+        assert isinstance(res.operand, VNMCompressed)
+
+
+class TestPreprocessMany:
+    def test_matches_individual(self):
+        bms = make_bms(3)
+        plan = PreprocessPlan(pattern=PATTERN)
+        batch = preprocess_many(bms, plan, n_workers=1)
+        for bm, res in zip(bms, batch):
+            single = preprocess(bm, plan)
+            assert np.array_equal(res.permutation.order, single.permutation.order)
+            assert np.allclose(res.operand.decompress(), single.operand.decompress())
+
+    def test_parallel_workers_agree(self):
+        bms = make_bms(4)
+        plan = PreprocessPlan(pattern=PATTERN)
+        inline = preprocess_many(bms, plan, n_workers=1)
+        pooled = preprocess_many(bms, plan, n_workers=2)
+        for a, b in zip(inline, pooled):
+            assert np.array_equal(a.permutation.order, b.permutation.order)
+
+    def test_batch_cache_integration(self, tmp_path):
+        bms = make_bms(3)
+        plan = PreprocessPlan(pattern=PATTERN)
+        cache = ArtifactCache(tmp_path / "c")
+        first = preprocess_many(bms, plan, n_workers=1, cache=cache)
+        assert not any(r.cached for r in first)
+        second = preprocess_many(bms, plan, n_workers=1, cache=cache)
+        assert all(r.cached for r in second)
+        # Partial hit: one new matrix alongside two cached ones.
+        mixed = preprocess_many(bms[:2] + make_bms(1, seed=9), plan,
+                                n_workers=1, cache=cache)
+        assert [r.cached for r in mixed] == [True, True, False]
+
+    def test_improvement_rate_property(self):
+        bm = make_bms(1)[0]
+        res = preprocess(bm, PreprocessPlan(pattern=PATTERN))
+        assert 0.0 <= res.improvement_rate <= 1.0
+
+
+class TestErrors:
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError):
+            preprocess(make_graph(), PreprocessPlan(pattern=PATTERN, backend="nope"))

@@ -1,0 +1,107 @@
+"""ServingSession: request cycle, Aggregator consumption, artefact loading."""
+
+import numpy as np
+import pytest
+
+from repro.core import VNMPattern
+from repro.gnn.layers import Aggregator, GCNConv
+from repro.graphs import sbm_graph
+from repro.pipeline import PreprocessPlan, ServingSession, preprocess
+from repro.sptc import EmulatedDevice
+
+PATTERN = VNMPattern(1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def served():
+    g, _ = sbm_graph(80, 3, 0.15, 0.01, np.random.default_rng(3))
+    result = preprocess(g, PreprocessPlan(pattern=PATTERN))
+    return g, result
+
+
+class TestRequestCycle:
+    def test_bitwise_equal_on_integer_features(self, served):
+        g, result = served
+        session = ServingSession.from_result(result)
+        x = np.random.default_rng(0).integers(0, 1 << 10, size=(g.n, 8)).astype(np.float64)
+        out = session.spmm(x)
+        # Integer-valued features make every partial sum exact, so the
+        # permute-in / SpMM / permute-back cycle must match the dense
+        # reference bitwise.
+        assert np.array_equal(out, g.dense_adjacency() @ x)
+
+    def test_float_features_allclose(self, served):
+        g, result = served
+        session = ServingSession.from_result(result)
+        x = np.random.default_rng(1).random((g.n, 5))
+        assert np.allclose(session.spmm(x), g.dense_adjacency() @ x)
+
+    def test_vector_request(self, served):
+        g, result = served
+        session = ServingSession.from_result(result)
+        x = np.random.default_rng(2).random(g.n)
+        out = session.spmm(x)
+        assert out.shape == (g.n,)
+        assert np.allclose(out, g.dense_adjacency() @ x)
+
+    def test_request_accounting(self, served):
+        g, result = served
+        session = ServingSession.from_result(result)
+        x = np.random.default_rng(3).random((g.n, 4))
+        for _ in range(3):
+            session.spmm(x)
+        assert session.n_requests == 3
+        assert session.modelled_seconds == pytest.approx(
+            3 * session.model_request_seconds(4))
+
+    def test_shape_check(self, served):
+        _, result = served
+        session = ServingSession.from_result(result)
+        with pytest.raises(ValueError):
+            session.spmm(np.zeros((3, 2)))
+
+    def test_device_charges_virtual_clock(self, served):
+        g, result = served
+        device = EmulatedDevice()
+        session = ServingSession.from_result(result, device=device, tag="serve")
+        session.spmm(np.random.default_rng(4).random((g.n, 4)))
+        assert device.elapsed("serve") > 0
+        assert session.modelled_seconds == 0.0  # the device owns the clock
+
+
+class TestAggregatorConsumption:
+    def test_aggregator_dispatches_session(self, served):
+        g, result = served
+        session = ServingSession.from_result(result)
+        agg = Aggregator(session)
+        x = np.random.default_rng(5).random((g.n, 6))
+        assert np.allclose(agg.mm(x), g.dense_adjacency() @ x)
+        assert session.n_requests >= 1
+
+    def test_gcn_layer_on_session_matches_csr(self, served):
+        g, result = served
+        session = ServingSession.from_result(result)
+        rng1, rng2 = np.random.default_rng(6), np.random.default_rng(6)
+        conv_s = GCNConv(10, 4, rng1)
+        conv_c = GCNConv(10, 4, rng2)
+        x = np.random.default_rng(7).random((g.n, 10))
+        out_session = conv_s.forward(x, session.aggregator())
+        out_csr = conv_c.forward(x, Aggregator(g.csr()))
+        assert np.allclose(out_session, out_csr)
+
+
+class TestArtifacts:
+    def test_from_artifact_roundtrip(self, served, tmp_path):
+        g, result = served
+        from repro.sptc import save_preprocessed
+
+        path = tmp_path / "artifact.npz"
+        save_preprocessed(path, operand=result.operand, permutation=result.permutation)
+        session = ServingSession.from_artifact(path)
+        assert session.backend_name == "hybrid"
+        x = np.random.default_rng(8).random((g.n, 3))
+        assert np.allclose(session.spmm(x), g.dense_adjacency() @ x)
+
+    def test_repr(self, served):
+        _, result = served
+        assert "hybrid" in repr(ServingSession.from_result(result))

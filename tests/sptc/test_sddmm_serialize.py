@@ -115,6 +115,19 @@ class TestSerialize:
         b = np.random.default_rng(11).random((wp.shape[1], 5))
         assert np.allclose(loaded.spmm(b), wp @ b)
 
+    def test_hybrid_roundtrip(self, case, tmp_path):
+        wp, _, _, _, perm = case
+        hybrid = HybridVNM.compress_csr(CSRMatrix.from_dense(wp), VNMPattern(1, 2, 4))
+        path = tmp_path / "hybrid.npz"
+        save_preprocessed(path, operand=hybrid, permutation=perm)
+        loaded, loaded_perm = load_preprocessed(path)
+        assert isinstance(loaded, HybridVNM)
+        assert np.allclose(loaded.decompress(), hybrid.decompress())
+        assert loaded.main.pattern == hybrid.main.pattern
+        assert loaded_perm == perm
+        b = np.random.default_rng(12).random((wp.shape[1], 4))
+        assert np.array_equal(loaded.spmm(b), hybrid.spmm(b))
+
     def test_version_check(self, case, tmp_path):
         _, venom, _, _, _ = case
         path = tmp_path / "prep.npz"

@@ -64,3 +64,36 @@ class TestCommands:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestPipelineCommands:
+    def test_preprocess_miss_then_hit(self, mtx_file, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["preprocess", mtx_file, "--pattern", "2:4",
+                "--cache-dir", cache_dir, "--workers", "1"]
+        code = main(args)
+        first = capsys.readouterr().out
+        assert code == 0
+        assert "preprocessed" in first
+        assert "cache hit" not in first
+
+        code = main(args)
+        second = capsys.readouterr().out
+        assert code == 0
+        assert "cache hit" in second
+
+    def test_preprocess_autoselect(self, mtx_file, tmp_path, capsys):
+        code = main(["preprocess", mtx_file, "--max-iter", "3",
+                     "--cache-dir", str(tmp_path / "cache")])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "pattern" in text
+
+    def test_serve_is_bitwise_exact(self, mtx_file, tmp_path, capsys):
+        code = main(["serve", mtx_file, "--pattern", "2:4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--requests", "2", "--h", "16"])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "bitwise-equal to dense reference: True" in text
+        assert "False" not in text
