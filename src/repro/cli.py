@@ -7,6 +7,8 @@ Usage::
     python -m repro collection CLASS [--count N] [--seed S]
     python -m repro preprocess INPUT.mtx [...] --cache-dir DIR [--workers N]
     python -m repro serve INPUT.mtx --cache-dir DIR [--h 64] [--requests N]
+                          [--max-retries N] [--deadline SECONDS]
+    python -m repro doctor --cache-dir DIR
 
 ``reorder`` writes the reordered (still symmetric) matrix and prints the
 conformity report; ``survey`` runs the best-pattern search and the modelled
@@ -14,8 +16,10 @@ SpMM comparison for one matrix; ``collection`` prints Table-1-style stats of
 the synthetic SuiteSparse stand-in; ``preprocess`` runs the offline
 pipeline (autoselect → reorder → compress) into a content-addressed
 artifact cache, fanning batches out over ``--workers`` processes; ``serve``
-answers SpMM requests from those artefacts and verifies the output against
-the dense reference.
+answers SpMM requests from those artefacts (retrying/degrading per
+``--max-retries`` / ``--deadline``) and verifies the output against the
+dense reference; ``doctor`` fsck-checks a cache directory, quarantining
+corrupt artefacts and cleaning half-written temp files.
 """
 
 from __future__ import annotations
@@ -127,14 +131,15 @@ def _cmd_preprocess(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .pipeline import ArtifactCache, ServingSession, preprocess
+    from .pipeline import ArtifactCache, RetryPolicy, ServingSession, preprocess
 
     graph = graph_from_mtx(args.input)
     cache = ArtifactCache(args.cache_dir)
     result = preprocess(graph, _build_plan(args), cache=cache)
     print(f"{args.input}: {'loaded cached artefact' if result.cached else 'preprocessed'} "
           f"(pattern {result.pattern}, backend {result.backend})")
-    session = ServingSession.from_result(result)
+    policy = RetryPolicy(max_attempts=args.max_retries + 1, deadline=args.deadline)
+    session = ServingSession.from_result(result, retry_policy=policy)
 
     # Integer-valued features keep every partial sum exact, so the served
     # output must match the dense reference bitwise, not just approximately.
@@ -153,7 +158,31 @@ def _cmd_serve(args) -> int:
     t_req = session.model_request_seconds(args.h)
     print(f"modelled per-request time {t_req * 1e6:.1f}us "
           f"({t_csr / t_req:.2f}x vs CSR baseline); served {session.n_requests} request(s)")
+    stats = session.resilience
+    if stats.retries or stats.downgrades or cache.stats.quarantined:
+        print(f"resilience: {stats.retries} retr(ies), "
+              f"{cache.stats.quarantined} quarantined artefact(s)")
+        for event in stats.downgrades:
+            print(f"  downgraded {event.from_backend} -> {event.to_backend}: {event.reason}")
     return 0 if ok else 1
+
+
+def _cmd_doctor(args) -> int:
+    from .pipeline import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    report = cache.fsck()
+    print(f"cache {cache.cache_dir}: checked {report['checked']} artefact(s)")
+    for name in report["tmp_removed"]:
+        print(f"  removed half-written temp file {name}")
+    for key in report["ok"]:
+        print(f"  ok       {key}")
+    for key in report["corrupt"]:
+        print(f"  corrupt  {key} -> quarantined in {cache.quarantine_dir}")
+    if report["corrupt"]:
+        print(f"{len(report['corrupt'])} corrupt artefact(s) quarantined; "
+              f"rerun `repro preprocess` to rebuild them")
+    return 1 if report["corrupt"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -206,7 +235,16 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--h", type=int, default=64)
     sv.add_argument("--requests", type=int, default=3)
     sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--max-retries", type=int, default=2,
+                    help="kernel retries per request before degrading (default 2)")
+    sv.add_argument("--deadline", type=float, default=None,
+                    help="per-request deadline in seconds (default: none)")
     sv.set_defaults(fn=_cmd_serve)
+
+    dr = sub.add_parser("doctor",
+                        help="fsck a cache directory: verify checksums, quarantine corrupt entries")
+    dr.add_argument("--cache-dir", default=".repro-cache")
+    dr.set_defaults(fn=_cmd_doctor)
     return p
 
 

@@ -48,6 +48,47 @@ class Aggregator:
     def mm_t(self, x: np.ndarray) -> np.ndarray:
         return self._run(self.operator_t, x)
 
+    # -- degradation surface ----------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """Registered backend serving the forward operator.
+
+        A ServingSession operator reports its *underlying* operand's backend
+        (which moves down the fallback ladder on degradation), not the
+        ``serving`` pseudo-backend it dispatches through.
+        """
+        inner = getattr(self.operator, "backend_name", None)
+        if isinstance(inner, str):
+            return inner
+        from ..pipeline.registry import backend_for
+
+        try:
+            return backend_for(self.operator).name
+        except TypeError:
+            return type(self.operator).__name__
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the operator (a ServingSession) has fallen back."""
+        stats = getattr(self.operator, "resilience", None)
+        return bool(stats is not None and stats.degraded)
+
+    def health(self) -> dict:
+        """Degradation/retry state of the underlying operator.
+
+        Models and training loops consume the aggregation phase through
+        this object, so the serving session's fault accounting is surfaced
+        here instead of making callers reach into pipeline internals.
+        Plain operands report a healthy static backend.
+        """
+        stats = getattr(self.operator, "resilience", None)
+        return {
+            "backend": self.backend_name,
+            "degraded": bool(stats is not None and stats.degraded),
+            "retries": stats.retries if stats is not None else 0,
+            "downgrades": tuple(stats.downgrades) if stats is not None else (),
+        }
+
 
 class GCNConv:
     """Kipf & Welling convolution: ``Y = Â (X W) + b``.

@@ -7,12 +7,21 @@ compact summaries (permutation order + scores), keeping pickling cheap.
 
 The same pattern covers the paper's §4.4 deployment note: per-partition
 reordering of a distributed graph is independent per device.
+
+Fault tolerance: a job that raises surfaces as a
+:class:`~repro.pipeline.resilience.WorkerCrashError` carrying the batch
+index (or is returned in place with ``return_exceptions=True``, so one bad
+matrix no longer aborts the batch), and a worker process that dies —
+``BrokenProcessPool`` — has its lost jobs resubmitted to a fresh pool.
+The :mod:`repro.pipeline.faults` harness can script both failure kinds
+deterministically.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -61,8 +70,22 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
+def _crash_error(index: int, exc: BaseException):
+    from .pipeline.resilience import WorkerCrashError  # lazy: pipeline imports us
+
+    return WorkerCrashError(
+        f"reorder job {index} failed in worker: {exc!r}", index=index
+    )
+
+
 def _job(args) -> ReorderSummary:
-    index, words, n_rows, n_cols, pattern_tuple, kwargs = args
+    index, words, n_rows, n_cols, pattern_tuple, kwargs, fault = args
+    if fault == "exit":
+        # Injected hard crash: the worker dies, breaking the pool so the
+        # parent's resubmission path runs.  Never taken outside inject().
+        os._exit(13)
+    if fault == "raise":
+        raise RuntimeError(f"injected worker fault on job {index}")
     bm = BitMatrix(words, n_rows, n_cols)
     pattern = VNMPattern(*pattern_tuple)
     res = reorder(bm, pattern, **kwargs)
@@ -84,20 +107,77 @@ def reorder_many(
     pattern: VNMPattern,
     *,
     n_workers: int | None = None,
+    return_exceptions: bool = False,
+    max_pool_restarts: int = 2,
     **reorder_kwargs,
-) -> list[ReorderSummary]:
+) -> list:
     """Reorder a batch of matrices in parallel worker processes.
 
     Results come back in input order.  ``n_workers=1`` (or a single-item
     batch) runs inline — no pool overhead, easier debugging.
+
+    A job that raises is re-raised as ``WorkerCrashError`` with the batch
+    index attached; with ``return_exceptions=True`` the error object is
+    returned at the job's position instead, so the rest of the batch
+    survives.  When a worker process dies (``BrokenProcessPool``), the lost
+    jobs are resubmitted to a fresh pool up to ``max_pool_restarts`` times.
     """
+    from .pipeline import faults  # lazy: pipeline imports us
+
     jobs = [
-        (i, bm.words, bm.n_rows, bm.n_cols, (pattern.v, pattern.n, pattern.m, pattern.k), reorder_kwargs)
+        (
+            i, bm.words, bm.n_rows, bm.n_cols,
+            (pattern.v, pattern.n, pattern.m, pattern.k), reorder_kwargs,
+            faults.worker_directive(i),
+        )
         for i, bm in enumerate(matrices)
     ]
     workers = default_workers() if n_workers is None else n_workers
+
     if workers <= 1 or len(jobs) <= 1:
-        return [_job(j) for j in jobs]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        # pool.map yields results in input order, so no re-sort is needed.
-        return list(pool.map(_job, jobs, chunksize=max(1, len(jobs) // (workers * 4))))
+        results = []
+        for job in jobs:
+            if job[-1] == "exit":
+                # Inline mode has no worker process to kill; degrade the
+                # injected hard crash to a soft failure.
+                job = job[:-1] + ("raise",)
+            try:
+                results.append(_job(job))
+            except Exception as exc:
+                failure = _crash_error(job[0], exc)
+                if not return_exceptions:
+                    raise failure from exc
+                results.append(failure)
+        return results
+
+    results: list = [None] * len(jobs)
+    pending = list(range(len(jobs)))
+    restarts = 0
+    while pending:
+        lost: list[int] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_job, jobs[i]): i for i in pending}
+            for fut, i in futures.items():
+                try:
+                    results[i] = fut.result()
+                except BrokenProcessPool:
+                    lost.append(i)
+                except Exception as exc:
+                    failure = _crash_error(i, exc)
+                    if not return_exceptions:
+                        raise failure from exc
+                    results[i] = failure
+        if not lost:
+            break
+        restarts += 1
+        if restarts > max_pool_restarts:
+            raise _crash_error(lost[0], BrokenProcessPool(
+                f"worker pool broke {restarts} time(s); "
+                f"{len(lost)} job(s) could not be completed"
+            ))
+        # Resubmit the lost jobs to a fresh pool, stripping any injected
+        # fault directive so the retry runs clean.
+        for i in lost:
+            jobs[i] = jobs[i][:-1] + (None,)
+        pending = lost
+    return results

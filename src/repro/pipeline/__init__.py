@@ -1,28 +1,50 @@
 """The preprocess → cache → serve pipeline (paper §4.4 as a subsystem).
 
 * :mod:`repro.pipeline.registry` — pluggable backend registry; the single
-  dispatch point for every SpMM call site (kernels, device, GNN layers).
+  dispatch point for every SpMM call site (kernels, device, GNN layers),
+  now with per-backend graceful-degradation ``fallbacks`` chains.
 * :mod:`repro.pipeline.preprocess` — declarative offline preprocessing:
   pattern autoselect → reordering → hybrid split → compression, with batch
   mode over the process pool.
 * :mod:`repro.pipeline.cache` — content-addressed artifact cache so the
-  reorder search runs once per (graph, plan).
+  reorder search runs once per (graph, plan); checksummed, atomically
+  written, with corrupt-entry quarantine.
 * :mod:`repro.pipeline.serving` — the permute-in / SpMM / permute-back
-  request cycle, consumable by :class:`repro.gnn.layers.Aggregator`.
+  request cycle, consumable by :class:`repro.gnn.layers.Aggregator`, with
+  retry/backoff/deadline and backend fallback.
+* :mod:`repro.pipeline.resilience` — the shared error taxonomy
+  (:class:`PipelineError` and friends) and :class:`RetryPolicy`.
+* :mod:`repro.pipeline.faults` — deterministic fault injection
+  (:class:`FaultPlan` + :func:`inject`) for testing every recovery path.
 """
 
 from .cache import ArtifactCache, CacheStats, adjacency_fingerprint, cache_key
+from .faults import FaultEvent, FaultPlan, InjectedFault, inject
 from .preprocess import PreprocessPlan, PreprocessResult, preprocess, preprocess_many
 from .registry import (
     Backend,
     available_backends,
     backend_for,
     compress,
+    degrade,
+    densify,
     dispatch_spmm,
+    fallback_chain,
     get_backend,
     model_spmm_time,
     register_backend,
     unregister_backend,
+)
+from .resilience import (
+    ArtifactCorruptError,
+    BackendExecutionError,
+    DeadlineExceeded,
+    DowngradeEvent,
+    PipelineError,
+    PreprocessError,
+    ResilienceStats,
+    RetryPolicy,
+    WorkerCrashError,
 )
 from .serving import ServingSession
 
@@ -36,6 +58,9 @@ __all__ = [
     "dispatch_spmm",
     "model_spmm_time",
     "compress",
+    "densify",
+    "degrade",
+    "fallback_chain",
     "PreprocessPlan",
     "PreprocessResult",
     "preprocess",
@@ -45,4 +70,17 @@ __all__ = [
     "cache_key",
     "adjacency_fingerprint",
     "ServingSession",
+    "PipelineError",
+    "PreprocessError",
+    "ArtifactCorruptError",
+    "BackendExecutionError",
+    "WorkerCrashError",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "DowngradeEvent",
+    "ResilienceStats",
+    "FaultPlan",
+    "FaultEvent",
+    "InjectedFault",
+    "inject",
 ]

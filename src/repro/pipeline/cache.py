@@ -15,20 +15,37 @@ The key covers everything that changes the artefact:
 * every reorder knob (``max_iter``, ``time_budget``, extra kwargs),
 * the backend name and the on-disk ``_FORMAT_VERSION`` — bumping the
   serializer invalidates every stale artefact at once.
+
+Integrity (robustness PR): stores are **atomic** (written to a ``.tmp``
+sibling, then ``os.replace``'d into place) so a killed preprocess never
+leaves a half-written artefact, and artefacts carry an embedded checksum
+(see :mod:`repro.sptc.serialize`).  A corrupt or unreadable entry is
+**quarantined** to a ``.corrupt/`` sidecar directory — counted in
+:attr:`CacheStats.quarantined`, never silently deleted — and the read is
+answered as a miss.  :meth:`ArtifactCache.fsck` checks every entry offline
+(the CLI ``doctor`` subcommand).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.bitmatrix import BitMatrix
 from ..sptc import serialize
+from . import faults
 from .preprocess import PreprocessPlan
 
 __all__ = ["ArtifactCache", "CacheStats", "cache_key", "adjacency_fingerprint"]
+
+# Failure modes a damaged .npz can surface: structural (BadZipFile/OSError/
+# EOFError), missing arrays (KeyError), or content-level (ValueError, which
+# includes serialize's ArtifactCorruptError checksum failures).
+_CORRUPT_ERRORS = (ValueError, KeyError, OSError, EOFError, zipfile.BadZipFile)
 
 
 def adjacency_fingerprint(bm: BitMatrix) -> str:
@@ -55,6 +72,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
 
 
 class ArtifactCache:
@@ -65,6 +83,10 @@ class ArtifactCache:
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.cache_dir / ".corrupt"
+
     def path(self, key: str) -> Path:
         return self.cache_dir / f"{key}.npz"
 
@@ -74,28 +96,55 @@ class ArtifactCache:
     def __len__(self) -> int:
         return len(list(self.cache_dir.glob("*.npz")))
 
+    def _quarantine(self, path: Path) -> Path:
+        """Move a corrupt artefact aside (never silently delete the evidence)."""
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        dest = self.quarantine_dir / path.name
+        os.replace(path, dest)
+        self.stats.quarantined += 1
+        return dest
+
+    def quarantined(self) -> list[Path]:
+        """The artefacts quarantined so far (this cache dir, any session)."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(self.quarantine_dir.glob("*.npz"))
+
     def load(self, key: str):
         """Return ``(operand, permutation)`` or ``None`` on a miss.
 
-        A corrupt or version-mismatched artefact counts as a miss (and is
-        removed) rather than failing the preprocessing run.
+        A corrupt or version-mismatched artefact counts as a miss; the bad
+        file is quarantined to ``.corrupt/`` (and counted) rather than
+        failing the preprocessing run or being silently dropped.
         """
         path = self.path(key)
         if not path.exists():
             self.stats.misses += 1
             return None
+        faults.maybe_corrupt_cache_file(key, path)
         try:
             artefact = serialize.load_preprocessed(path)
-        except (ValueError, OSError, KeyError):
-            path.unlink(missing_ok=True)
+        except _CORRUPT_ERRORS:
+            self._quarantine(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return artefact
 
     def store(self, key: str, operand, permutation) -> Path:
+        """Atomically persist one artefact.
+
+        The file is written to a ``.tmp`` sibling and ``os.replace``'d into
+        place, so a preprocess killed mid-write leaves no half-written
+        ``<key>.npz`` that a later run would load as corrupt.
+        """
         path = self.path(key)
-        serialize.save_preprocessed(path, operand=operand, permutation=permutation)
+        tmp = Path(f"{path}.tmp")
+        try:
+            serialize.save_preprocessed(tmp, operand=operand, permutation=permutation)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         self.stats.stores += 1
         return path
 
@@ -113,3 +162,28 @@ class ArtifactCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+    def fsck(self, *, quarantine: bool = True) -> dict:
+        """Integrity-check every artefact (the ``doctor`` subcommand's core).
+
+        Tries a full checksum-verified load of each ``<key>.npz``; corrupt
+        entries are quarantined (unless ``quarantine=False``) and orphaned
+        ``.tmp`` files from killed writers are removed.  Returns
+        ``{"checked", "ok", "corrupt", "tmp_removed"}`` with key lists.
+        """
+        report: dict = {"checked": 0, "ok": [], "corrupt": [], "tmp_removed": []}
+        for tmp in sorted(self.cache_dir.glob("*.npz.tmp")):
+            tmp.unlink(missing_ok=True)
+            report["tmp_removed"].append(tmp.name)
+        for path in sorted(self.cache_dir.glob("*.npz")):
+            key = path.stem
+            report["checked"] += 1
+            try:
+                serialize.load_preprocessed(path)
+            except _CORRUPT_ERRORS:
+                report["corrupt"].append(key)
+                if quarantine:
+                    self._quarantine(path)
+            else:
+                report["ok"].append(key)
+        return report

@@ -1,0 +1,143 @@
+"""Deterministic fault injection for the pipeline's recovery paths.
+
+A :class:`FaultPlan` scripts exactly which operations fail — the next N
+kernel dispatches of a named backend, the next N artefact reads, specific
+worker jobs — so every retry / fallback / quarantine path in
+:mod:`repro.pipeline.resilience` is exercised by ordinary deterministic
+tests instead of real hardware flakiness.
+
+Three hook sites consult the active plan:
+
+* **kernel dispatch** — :func:`repro.pipeline.registry.run_kernel` calls
+  :func:`maybe_fail_kernel` before running a backend's SpMM;
+* **cache reads** — :class:`repro.pipeline.cache.ArtifactCache.load` calls
+  :func:`maybe_corrupt_cache_file`, which scribbles over the on-disk
+  artefact so the *real* corruption-detection path runs;
+* **worker jobs** — :func:`repro.parallel.reorder_many` asks
+  :func:`worker_directive` per job; ``"raise"`` makes the job raise inside
+  the worker, ``"exit"`` kills the worker process outright (breaking the
+  pool, which exercises resubmission).
+
+Every hook is a cheap no-op when no plan is active, and plans record what
+they injected in :attr:`FaultPlan.events` so tests can assert the faults
+actually fired.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "InjectedFault",
+    "inject",
+    "active_plan",
+    "maybe_fail_kernel",
+    "maybe_corrupt_cache_file",
+    "worker_directive",
+]
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure a :class:`FaultPlan` raises inside a hook."""
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of one injected fault: where, on what, and which action."""
+
+    site: str  # "kernel" | "cache" | "worker"
+    target: str  # backend name, cache key, or job index
+    action: str  # "raise" | "corrupt" | "exit"
+
+
+@dataclass
+class FaultPlan:
+    """Scripted faults, consumed in order as the hooked operations run.
+
+    ``kernel_failures`` maps a backend name to how many of its next kernel
+    dispatches raise :class:`InjectedFault` before the backend "heals".
+    ``cache_corruptions`` corrupts that many upcoming artefact reads by
+    scribbling the file on disk.  ``worker_crashes`` maps a batch index to
+    ``"raise"`` or ``"exit"``; directives are consumed when the job is first
+    built, so jobs resubmitted after a pool break run clean.
+    """
+
+    kernel_failures: dict[str, int] = field(default_factory=dict)
+    cache_corruptions: int = 0
+    worker_crashes: dict[int, str] = field(default_factory=dict)
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def take_kernel_failure(self, backend: str) -> bool:
+        remaining = self.kernel_failures.get(backend, 0)
+        if remaining <= 0:
+            return False
+        self.kernel_failures[backend] = remaining - 1
+        self.events.append(FaultEvent("kernel", backend, "raise"))
+        return True
+
+    def take_cache_corruption(self, key: str) -> bool:
+        if self.cache_corruptions <= 0:
+            return False
+        self.cache_corruptions -= 1
+        self.events.append(FaultEvent("cache", key, "corrupt"))
+        return True
+
+    def take_worker_crash(self, index: int) -> str | None:
+        action = self.worker_crashes.pop(index, None)
+        if action is not None:
+            if action not in ("raise", "exit"):
+                raise ValueError(f"unknown worker fault action {action!r}")
+            self.events.append(FaultEvent("worker", str(index), action))
+        return action
+
+    def count(self, site: str) -> int:
+        """How many faults fired at ``site`` so far."""
+        return sum(1 for e in self.events if e.site == site)
+
+
+_ACTIVE: list[FaultPlan] = []
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def inject(plan: FaultPlan | None = None):
+    """Scope ``plan`` (default: a fresh empty plan) over the hooked operations."""
+    plan = plan if plan is not None else FaultPlan()
+    _ACTIVE.append(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE.remove(plan)
+
+
+# -- hook points (no-ops without an active plan) -------------------------------
+
+def maybe_fail_kernel(backend: str) -> None:
+    plan = active_plan()
+    if plan is not None and plan.take_kernel_failure(backend):
+        raise InjectedFault(f"injected kernel failure for backend {backend!r}")
+
+
+def maybe_corrupt_cache_file(key: str, path) -> bool:
+    """Scribble over the artefact at ``path``; returns whether it fired."""
+    plan = active_plan()
+    path = Path(path)
+    if plan is None or not path.exists() or not plan.take_cache_corruption(key):
+        return False
+    raw = path.read_bytes()
+    path.write_bytes(b"\x00CORRUPT\x00" + raw[: max(0, len(raw) // 2)])
+    return True
+
+
+def worker_directive(index: int) -> str | None:
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.take_worker_crash(index)

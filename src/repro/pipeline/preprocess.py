@@ -25,6 +25,7 @@ from ..graphs.graph import Graph
 from ..parallel import reorder_many
 from ..sptc.csr import CSRMatrix
 from . import registry
+from .resilience import PipelineError, PreprocessError, WorkerCrashError
 
 __all__ = ["PreprocessPlan", "PreprocessResult", "preprocess", "preprocess_many"]
 
@@ -111,21 +112,42 @@ def _operator_csr(graph: Graph | BitMatrix, perm: Permutation, plan: PreprocessP
 
 def _search_or_reorder(bm: BitMatrix, plan: PreprocessPlan):
     """Run the pattern search (pattern=None) or a direct reorder; returns
-    ``(pattern, permutation, summary)``."""
+    ``(pattern, permutation, summary)``.
+
+    Offline-stage failures — a search that finds nothing, or a reorder that
+    raises — surface as :class:`PreprocessError` so callers catch one
+    taxonomy instead of stage-specific exceptions.
+    """
     if plan.pattern is None:
         # reorder_kwargs are reorder()-specific knobs; the pattern search
         # drives reorder() itself, so they do not apply here.
-        best = find_best_pattern(
-            bm, max_iter=plan.max_iter, select=plan.select,
-            attempt_time_budget=plan.time_budget or 30.0,
-        )
+        try:
+            best = find_best_pattern(
+                bm, max_iter=plan.max_iter, select=plan.select,
+                attempt_time_budget=plan.time_budget or 30.0,
+            )
+        except PipelineError:
+            raise
+        except Exception as exc:
+            raise PreprocessError(f"pattern search failed: {exc}") from exc
         if not best.succeeded:
-            raise ValueError("no conforming V:N:M pattern found; pass an explicit pattern")
+            raise PreprocessError(
+                "no conforming V:N:M pattern found; pass an explicit pattern",
+                attempts=[str(pat) for pat, _ in best.attempts],
+            )
         return best.pattern, best.result.permutation, best.result.summary()
-    res = reorder(
-        bm, plan.pattern, max_iter=plan.max_iter,
-        time_budget=plan.time_budget, **plan.reorder_kwargs,
-    )
+    try:
+        res = reorder(
+            bm, plan.pattern, max_iter=plan.max_iter,
+            time_budget=plan.time_budget, **plan.reorder_kwargs,
+        )
+    except PipelineError:
+        raise
+    except Exception as exc:
+        raise PreprocessError(
+            f"reorder failed for pattern {plan.pattern}: {exc}",
+            pattern=str(plan.pattern),
+        ) from exc
     return plan.pattern, res.permutation, res.summary()
 
 
@@ -201,13 +223,23 @@ def preprocess_many(
 
     if pending and plan.pattern is not None:
         mats = [_reorder_target(graphs[i], plan) for i in pending]
-        summaries = reorder_many(
-            mats, plan.pattern,
-            n_workers=n_workers,
-            max_iter=plan.max_iter,
-            time_budget=plan.time_budget,
-            **plan.reorder_kwargs,
-        )
+        try:
+            summaries = reorder_many(
+                mats, plan.pattern,
+                n_workers=n_workers,
+                max_iter=plan.max_iter,
+                time_budget=plan.time_budget,
+                **plan.reorder_kwargs,
+            )
+        except WorkerCrashError as exc:
+            # Translate the batch-local job index into the caller's graph
+            # index before the error leaves the pipeline.
+            job = exc.context.get("index")
+            graph_index = pending[job] if isinstance(job, int) and job < len(pending) else None
+            raise WorkerCrashError(
+                f"preprocessing worker failed on graph {graph_index}: {exc}",
+                index=graph_index, job_index=job,
+            ) from exc
         for i, summ in zip(pending, summaries):
             perm = summ.permutation
             csr = _operator_csr(graphs[i], perm, plan)

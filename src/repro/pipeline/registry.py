@@ -32,6 +32,8 @@ from ..sptc.sell import SellCSigma
 from ..sptc.spmm import csr_spmm, dense_spmm, nm_spmm, venom_spmm
 from ..sptc.tcgnn import TCGNNBlocked
 from ..sptc.venom import VNMCompressed
+from . import faults
+from .resilience import BackendExecutionError, PipelineError
 
 __all__ = [
     "Backend",
@@ -41,8 +43,12 @@ __all__ = [
     "backend_for",
     "available_backends",
     "dispatch_spmm",
+    "run_kernel",
     "model_spmm_time",
     "compress",
+    "densify",
+    "degrade",
+    "fallback_chain",
 ]
 
 
@@ -56,6 +62,10 @@ class Backend:
     launch time the emulated device charges; ``None`` means the backend owns
     its own timing (e.g. a :class:`~repro.pipeline.serving.ServingSession`).
     ``kernel_name`` labels the device's :class:`KernelRecord` entries.
+    ``fallbacks`` is the ordered graceful-degradation ladder: backends a
+    failing operand can be rebuilt for (via :func:`degrade`), fastest first,
+    ending in a always-correct reference (HC-SpMM's hybrid-kernel argument —
+    keep a CUDA-core/CSR path behind every SPTC path).
     """
 
     name: str
@@ -64,6 +74,7 @@ class Backend:
     compress: Callable[[CSRMatrix, VNMPattern | None], Any] | None = None
     model_time: Callable[[CostModel, Any, int], float] | None = None
     kernel_name: str = ""
+    fallbacks: tuple[str, ...] = ()
 
 
 _REGISTRY: dict[str, Backend] = {}
@@ -119,9 +130,36 @@ def available_backends() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
+def run_kernel(backend: Backend, a: Any, b: np.ndarray) -> np.ndarray:
+    """Execute ``backend``'s kernel, classing failures as
+    :class:`BackendExecutionError`.
+
+    This is the single choke point for kernel execution (both
+    :func:`dispatch_spmm` and the emulated device route through it), so the
+    fault-injection hook and the error taxonomy cover every SpMM call site.
+    The ``serving`` pseudo-backend is exempt from wrapping: a
+    :class:`~repro.pipeline.serving.ServingSession` runs its own retry /
+    degradation cycle and already raises taxonomy (or validation) errors.
+    """
+    if backend.name == "serving":
+        return backend.spmm(a, b)
+    try:
+        faults.maybe_fail_kernel(backend.name)
+        return backend.spmm(a, b)
+    except PipelineError:
+        raise
+    except Exception as exc:
+        raise BackendExecutionError(
+            f"backend {backend.name!r} kernel "
+            f"{(backend.kernel_name or backend.name)!r} failed: {exc}",
+            backend=backend.name,
+            kernel_name=backend.kernel_name or backend.name,
+        ) from exc
+
+
 def dispatch_spmm(a: Any, b: np.ndarray) -> np.ndarray:
     """Run the registered SpMM kernel for ``a``'s format."""
-    return backend_for(a).spmm(a, b)
+    return run_kernel(backend_for(a), a, b)
 
 
 def model_spmm_time(cost_model: CostModel, a: Any, h: int) -> float:
@@ -138,6 +176,38 @@ def compress(csr: CSRMatrix, backend: str, pattern: VNMPattern | None = None) ->
     if entry.compress is None:
         raise ValueError(f"backend {backend!r} has no compressor")
     return entry.compress(csr, pattern)
+
+
+def densify(operand: Any) -> np.ndarray:
+    """Dense matrix of any registered operand — the degradation pivot."""
+    if isinstance(operand, np.ndarray):
+        return np.asarray(operand, dtype=np.float64)
+    if hasattr(operand, "decompress"):
+        return operand.decompress()
+    if hasattr(operand, "to_dense"):
+        return operand.to_dense()
+    raise TypeError(f"cannot densify operand of type {type(operand).__name__}")
+
+
+def degrade(operand: Any, target: str) -> Any:
+    """Rebuild ``operand`` in fallback format ``target`` (slower but correct).
+
+    The numeric content is preserved exactly: the operand is densified and
+    recompressed, so a downgraded serving path stays bitwise-correct for
+    exact inputs.  ``target="dense"`` is the terminal reference rung.
+    """
+    get_backend(target)  # fail fast on unknown fallback names
+    dense = densify(operand)
+    if target == "dense":
+        return dense
+    pattern = getattr(operand, "pattern", None)
+    vnm_pattern = pattern if isinstance(pattern, VNMPattern) else None
+    return compress(CSRMatrix.from_dense(dense), target, vnm_pattern)
+
+
+def fallback_chain(operand: Any) -> tuple[str, ...]:
+    """The degradation ladder registered for ``operand``'s backend."""
+    return backend_for(operand).fallbacks
 
 
 # -- built-in backends ---------------------------------------------------------
@@ -165,6 +235,7 @@ register_backend(Backend(
     compress=lambda csr, pattern=None: csr,
     model_time=lambda cm, a, h: cm.time_csr_spmm(SpmmWorkload.from_csr(a, h)),
     kernel_name="csr_spmm",
+    fallbacks=("dense",),
 ))
 
 register_backend(Backend(
@@ -174,6 +245,7 @@ register_backend(Backend(
     compress=_compress_nm,
     model_time=lambda cm, a, h: cm.time_nm_spmm(a, h),
     kernel_name="nm_spmm",
+    fallbacks=("csr", "dense"),
 ))
 
 register_backend(Backend(
@@ -184,6 +256,7 @@ register_backend(Backend(
         csr, _require_pattern(pattern, "vnm")),
     model_time=lambda cm, a, h: cm.time_venom_spmm(a, h),
     kernel_name="venom_spmm",
+    fallbacks=("bsr", "csr", "dense"),
 ))
 
 register_backend(Backend(
@@ -194,6 +267,7 @@ register_backend(Backend(
         csr, _require_pattern(pattern, "hybrid")),
     model_time=lambda cm, a, h: a.model_time(cm, h),
     kernel_name="hybrid_spmm",
+    fallbacks=("bsr", "csr", "dense"),
 ))
 
 register_backend(Backend(
@@ -203,6 +277,7 @@ register_backend(Backend(
     compress=_compress_bsr,
     model_time=lambda cm, a, h: cm.time_bsr_spmm(a, h),
     kernel_name="bsr_spmm",
+    fallbacks=("csr", "dense"),
 ))
 
 register_backend(Backend(
@@ -212,6 +287,7 @@ register_backend(Backend(
     compress=lambda csr, pattern=None: SellCSigma.from_csr(csr),
     model_time=lambda cm, a, h: cm.time_sell_spmm(a, h),
     kernel_name="sell_spmm",
+    fallbacks=("csr", "dense"),
 ))
 
 register_backend(Backend(
@@ -221,6 +297,7 @@ register_backend(Backend(
     compress=lambda csr, pattern=None: TCGNNBlocked.from_csr(csr),
     model_time=lambda cm, a, h: cm.time_tcgnn_spmm(a, h),
     kernel_name="tcgnn_spmm",
+    fallbacks=("csr", "dense"),
 ))
 
 register_backend(Backend(

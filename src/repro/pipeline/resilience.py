@@ -1,0 +1,190 @@
+"""Fault-tolerance primitives for the preprocess → cache → serve pipeline.
+
+Production serving (ROADMAP north star) has to survive the failures the
+paper's §4.4 "reorder once, serve many" deployment meets in practice: a
+corrupt artefact on disk, a reorder worker that dies mid-batch, a backend
+kernel that starts failing.  This module defines the three shared pieces
+every pipeline layer builds on:
+
+* the **error taxonomy** — :class:`PipelineError` and its subclasses, raised
+  consistently by :mod:`~repro.pipeline.preprocess`,
+  :mod:`~repro.pipeline.cache`, :mod:`~repro.pipeline.registry`,
+  :mod:`~repro.pipeline.serving` and :mod:`repro.parallel` so callers catch
+  one family of exceptions instead of bare ``ValueError``/``RuntimeError``;
+* :class:`RetryPolicy` — bounded retry with exponential backoff + jitter and
+  a per-request deadline, wrapped around serving requests and worker jobs;
+* degradation records (:class:`DowngradeEvent`, :class:`ResilienceStats`) —
+  how a :class:`~repro.pipeline.serving.ServingSession` accounts for falling
+  back down a backend's ``fallbacks`` chain instead of erroring (the
+  HC-SpMM-style "always have a correct slower kernel behind the fast one").
+
+The module is deliberately stdlib-only so every other layer (including
+:mod:`repro.sptc.serialize` and :mod:`repro.parallel`, which sit *below* the
+pipeline package) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = [
+    "PipelineError",
+    "PreprocessError",
+    "ArtifactCorruptError",
+    "BackendExecutionError",
+    "WorkerCrashError",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "DowngradeEvent",
+    "ResilienceStats",
+]
+
+
+class PipelineError(Exception):
+    """Base of the pipeline error taxonomy.
+
+    ``context`` carries machine-readable detail (backend names, cache keys,
+    batch indices) so operators and tests can assert on *which* fault was
+    classified without parsing messages.
+    """
+
+    def __init__(self, message: str, **context):
+        super().__init__(message)
+        self.context = context
+
+
+class PreprocessError(PipelineError):
+    """The offline stage failed: pattern search, reordering, or compression."""
+
+
+class ArtifactCorruptError(PipelineError, ValueError):
+    """A persisted artefact failed checksum or structural validation.
+
+    Also a ``ValueError`` so pre-taxonomy callers that caught the
+    serializer's ``ValueError`` keep working unchanged.
+    """
+
+
+class BackendExecutionError(PipelineError):
+    """A backend's SpMM kernel raised during execution.
+
+    ``context['backend']`` / ``context['kernel_name']`` identify the failing
+    kernel; the original exception is chained as ``__cause__``.
+    """
+
+
+class WorkerCrashError(PipelineError):
+    """A process-pool job raised, or its worker process died.
+
+    ``context['index']`` is the batch index of the failing job (the graph
+    index once :func:`~repro.pipeline.preprocess.preprocess_many` re-raises).
+    """
+
+
+class DeadlineExceeded(PipelineError, TimeoutError):
+    """The per-request deadline expired before an attempt could succeed."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff, jitter, and a deadline.
+
+    Delays grow as ``base_delay * multiplier**attempt`` capped at
+    ``max_delay``, each stretched by up to ``jitter`` (a fraction) of random
+    extra to de-synchronise retry storms.  ``deadline`` bounds the whole
+    call — attempts plus sleeps; a backoff sleep that would overrun it
+    raises :class:`DeadlineExceeded` immediately instead of sleeping through
+    it.  ``seed`` makes the jitter reproducible for tests.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.05
+    jitter: float = 0.25
+    deadline: float | None = None
+    seed: int | None = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def backoff_delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Sleep before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter and rng is not None:
+            delay *= 1.0 + self.jitter * rng.random()
+        return delay
+
+    def run(
+        self,
+        fn: Callable[[], object],
+        *,
+        retry_on: tuple[type[BaseException], ...] = (PipelineError,),
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        describe: str = "",
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        """Call ``fn`` under this policy; return its result.
+
+        Exceptions outside ``retry_on`` propagate immediately.  When the
+        attempts or the deadline run out, the last failure (or a
+        :class:`DeadlineExceeded` chaining it) propagates.  ``on_retry`` is
+        invoked once per retry with the 0-based attempt number and the
+        failure that triggered it.
+        """
+        rng = random.Random(self.seed)
+        start = clock()
+        for attempt in range(self.max_attempts):
+            if self.deadline is not None and clock() - start >= self.deadline:
+                raise DeadlineExceeded(
+                    f"deadline of {self.deadline:.3f}s expired after "
+                    f"{attempt} attempt(s)" + (f" while {describe}" if describe else ""),
+                    attempts=attempt,
+                    deadline=self.deadline,
+                )
+            try:
+                return fn()
+            except retry_on as exc:
+                if attempt == self.max_attempts - 1:
+                    raise
+                delay = self.backoff_delay(attempt, rng)
+                if self.deadline is not None and (clock() - start) + delay >= self.deadline:
+                    raise DeadlineExceeded(
+                        f"deadline of {self.deadline:.3f}s would be exceeded by the next "
+                        f"backoff after {attempt + 1} attempt(s)"
+                        + (f" while {describe}" if describe else ""),
+                        attempts=attempt + 1,
+                        deadline=self.deadline,
+                    ) from exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class DowngradeEvent:
+    """One graceful-degradation step: from a failing backend to a fallback."""
+
+    from_backend: str
+    to_backend: str
+    reason: str
+
+
+@dataclass
+class ResilienceStats:
+    """Fault accounting one serving session accumulates across requests."""
+
+    retries: int = 0
+    downgrades: list[DowngradeEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.downgrades)

@@ -8,6 +8,15 @@ vertex order.  Sessions are themselves registered as a registry backend, so
 :class:`repro.gnn.layers.Aggregator` — and anything else that dispatches
 through :func:`repro.pipeline.registry.dispatch_spmm` — consumes them like
 any other operand.
+
+Fault tolerance: each request runs under a :class:`RetryPolicy`
+(exponential backoff + jitter, optional per-request deadline).  When the
+kernel keeps failing, the session walks its backend's ``fallbacks`` ladder
+(:func:`repro.pipeline.registry.degrade`) — e.g. ``vnm → bsr → csr →
+dense`` — rebuilding the operand in a slower-but-correct format, recording
+a :class:`DowngradeEvent` in :attr:`resilience`, and continuing to serve
+instead of erroring.  Failures surface only as the
+:class:`~repro.pipeline.resilience.PipelineError` taxonomy.
 """
 
 from __future__ import annotations
@@ -17,6 +26,13 @@ import numpy as np
 from ..core.permutation import Permutation
 from ..sptc.costmodel import CostModel
 from . import registry
+from .resilience import (
+    BackendExecutionError,
+    DeadlineExceeded,
+    DowngradeEvent,
+    ResilienceStats,
+    RetryPolicy,
+)
 
 __all__ = ["ServingSession"]
 
@@ -31,6 +47,11 @@ class ServingSession:
     With a ``device`` every request advances that device's virtual clock
     under ``tag``; without one, requests accumulate cost-model time locally
     in :attr:`modelled_seconds`.
+
+    ``retry_policy`` governs per-request retry/backoff/deadline (default:
+    3 attempts).  Downgrades are sticky: once a request forces a fallback,
+    later requests serve from the degraded operand; :attr:`resilience`
+    records every retry and :class:`DowngradeEvent`.
     """
 
     def __init__(
@@ -41,12 +62,16 @@ class ServingSession:
         device=None,
         cost_model: CostModel | None = None,
         tag: str = "serving",
+        retry_policy: RetryPolicy | None = None,
     ):
         self.operand = operand
         self.permutation = permutation
         self.device = device
         self.cost_model = cost_model or CostModel()
         self.tag = tag
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.resilience = ResilienceStats()
+        self.original_backend = registry.backend_for(operand).name
         self.n_requests = 0
         self.modelled_seconds = 0.0
 
@@ -73,32 +98,89 @@ class ServingSession:
     def backend_name(self) -> str:
         return registry.backend_for(self.operand).name
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any request has forced this session down a fallback."""
+        return self.resilience.degraded
+
     # -- the request cycle -------------------------------------------------
     def spmm(self, x: np.ndarray) -> np.ndarray:
         """One inference request: ``A @ x`` in the caller's vertex order."""
         x = np.asarray(x, dtype=np.float64)
+        if x.ndim > 2:
+            raise ValueError(
+                f"features must be 1-D or 2-D (vertices[, channels]), got "
+                f"{x.ndim}-D input of shape {x.shape}"
+            )
         if x.shape[0] != self.shape[1]:
             raise ValueError(
                 f"feature rows {x.shape[0]} != operand columns {self.shape[1]}"
             )
+        if not np.isfinite(x).all():
+            raise ValueError("features contain non-finite values (nan or inf)")
         squeeze = x.ndim == 1
         if squeeze:
             x = x[:, None]
         if self.permutation is not None:
             x = x[self.permutation.order]
-        if self.device is not None:
-            out = self.device.spmm(self.operand, x, tag=self.tag)
-        else:
-            out = registry.dispatch_spmm(self.operand, x)
-            self.modelled_seconds += registry.model_spmm_time(
-                self.cost_model, self.operand, x.shape[1]
-            )
+        out = self._execute_with_recovery(x)
         if self.permutation is not None:
             restored = np.empty_like(out)
             restored[self.permutation.order] = out
             out = restored
         self.n_requests += 1
         return out[:, 0] if squeeze else out
+
+    def _execute(self, operand, x: np.ndarray) -> np.ndarray:
+        """One kernel attempt on ``operand`` (device clock or local model)."""
+        if self.device is not None:
+            return self.device.spmm(operand, x, tag=self.tag)
+        out = registry.dispatch_spmm(operand, x)
+        self.modelled_seconds += registry.model_spmm_time(
+            self.cost_model, operand, x.shape[1]
+        )
+        return out
+
+    def _execute_with_recovery(self, x: np.ndarray) -> np.ndarray:
+        """Retry under the policy, then walk the fallback ladder."""
+
+        def count_retry(attempt: int, exc: BaseException) -> None:
+            self.resilience.retries += 1
+
+        try:
+            return self.retry_policy.run(
+                lambda: self._execute(self.operand, x),
+                retry_on=(BackendExecutionError,),
+                on_retry=count_retry,
+                describe=f"serving spmm on backend {self.backend_name!r}",
+            )
+        except DeadlineExceeded:
+            raise
+        except BackendExecutionError as failure:
+            return self._degrade_and_serve(x, failure)
+
+    def _degrade_and_serve(self, x: np.ndarray, failure: BackendExecutionError) -> np.ndarray:
+        """Rebuild the operand down the fallback ladder until a kernel works.
+
+        A successful rung replaces :attr:`operand` (sticky downgrade — the
+        next request goes straight to the working backend) and is recorded;
+        only when the whole ladder fails does the original error propagate.
+        """
+        failed = registry.backend_for(self.operand).name
+        for name in registry.fallback_chain(self.operand):
+            try:
+                operand = registry.degrade(self.operand, name)
+                out = self._execute(operand, x)
+            except (BackendExecutionError, TypeError, ValueError) as exc:
+                if isinstance(exc, BackendExecutionError):
+                    failure = exc
+                continue
+            self.operand = operand
+            self.resilience.downgrades.append(
+                DowngradeEvent(from_backend=failed, to_backend=name, reason=str(failure))
+            )
+            return out
+        raise failure
 
     # Aggregator (and any dispatch_spmm caller) treats a session like an
     # operand, so mm/mm_t spell out the symmetric-operator convention.
@@ -116,9 +198,12 @@ class ServingSession:
         return registry.model_spmm_time(self.cost_model, self.operand, h)
 
     def __repr__(self) -> str:
+        degraded = (
+            f", degraded_from={self.original_backend!r}" if self.degraded else ""
+        )
         return (
             f"ServingSession(backend={self.backend_name!r}, shape={self.shape}, "
-            f"requests={self.n_requests})"
+            f"requests={self.n_requests}{degraded})"
         )
 
 

@@ -101,14 +101,16 @@ class EmulatedDevice:
         :func:`repro.pipeline.registry.register_backend` (including
         third-party ones) runs on the virtual clock without device changes.
         """
-        from ..pipeline.registry import backend_for  # lazy: registry imports kernels
+        from ..pipeline.registry import backend_for, run_kernel  # lazy: registry imports kernels
 
         backend = backend_for(a)
         seconds = 0.0
         if backend.model_time is not None:
             seconds = backend.model_time(self.cost_model, a, b.shape[1])
         self._launch(backend.kernel_name or backend.name, seconds, tag)
-        return backend.spmm(a, b)
+        # run_kernel classes kernel failures as BackendExecutionError and
+        # honours the fault-injection hooks, same as host-side dispatch.
+        return run_kernel(backend, a, b)
 
     def gemm(self, a: np.ndarray, b: np.ndarray, *, tensor_core: bool = True, tag: str = "gemm") -> np.ndarray:
         m, k = a.shape

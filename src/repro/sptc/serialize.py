@@ -10,10 +10,18 @@ cache in :mod:`repro.pipeline.cache` is layered on this format.
 
 Format version 2 added the optional hybrid-residual arrays; loading any
 other version raises ``ValueError``.
+
+Integrity: every artefact embeds a sha256 ``checksum`` over its payload
+arrays (names, dtypes, shapes, bytes).  :func:`load_preprocessed` verifies
+it and raises :class:`repro.pipeline.resilience.ArtifactCorruptError` — a
+``ValueError`` subclass, so pre-taxonomy callers keep working — on any
+mismatch, turning silent bit-rot into a classified, quarantinable fault.
+Artefacts written before the checksum existed still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 
 import numpy as np
@@ -24,9 +32,28 @@ from .csr import CSRMatrix
 from .hybrid import HybridVNM
 from .venom import VNMCompressed
 
-__all__ = ["save_preprocessed", "load_preprocessed"]
+__all__ = ["save_preprocessed", "load_preprocessed", "payload_checksum"]
 
 _FORMAT_VERSION = 2
+
+
+def payload_checksum(arrays: dict) -> np.ndarray:
+    """sha256 over the artefact's payload arrays, as a uint8 array.
+
+    Covers names, dtypes, shapes, and raw bytes of every array except the
+    ``checksum`` entry itself, in name order — so any corruption that still
+    yields a structurally loadable ``.npz`` is caught at load time.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == "checksum":
+            continue
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+    return np.frombuffer(digest.digest(), dtype=np.uint8).copy()
 
 
 def save_preprocessed(
@@ -59,7 +86,11 @@ def save_preprocessed(
         arrays["residual_data"] = residual.data
     if permutation is not None:
         arrays["permutation"] = permutation.order
-    np.savez_compressed(Path(path), **arrays)
+    arrays["checksum"] = payload_checksum(arrays)
+    # Write through a file handle: np.savez would append ".npz" to bare
+    # paths, which breaks atomic-write temp names like "<key>.npz.tmp".
+    with open(Path(path), "wb") as fh:
+        np.savez_compressed(fh, **arrays)
 
 
 def load_preprocessed(path) -> tuple[VNMCompressed | HybridVNM, Permutation | None]:
@@ -68,6 +99,15 @@ def load_preprocessed(path) -> tuple[VNMCompressed | HybridVNM, Permutation | No
         version = int(data["format_version"][0])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported preprocessed-file version {version}")
+        if "checksum" in data:
+            arrays = {name: data[name] for name in data.files}
+            if not np.array_equal(payload_checksum(arrays), data["checksum"]):
+                # Lazy import: sptc sits below the pipeline package.
+                from ..pipeline.resilience import ArtifactCorruptError
+
+                raise ArtifactCorruptError(
+                    f"artefact {path} failed checksum verification", path=str(path)
+                )
         v, n, m, k = (int(x) for x in data["pattern"])
         operand: VNMCompressed | HybridVNM = VNMCompressed(
             VNMPattern(v, n, m, k),
