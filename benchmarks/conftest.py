@@ -10,6 +10,11 @@ runs (SuiteSparse class sizes of Table 1, full dataset vertex counts).
 
 from __future__ import annotations
 
+import json
+import re
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -32,6 +37,48 @@ TABLE3_DATASETS = (
 # Dataset scales used by the GNN benches (kept modest so that preprocessing
 # across 8 datasets stays in CI budget; REPRO_FULL bumps them).
 BENCH_SCALE = {name: 0.08 for name in TABLE3_DATASETS}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json-out",
+        default=None,
+        metavar="DIR",
+        help="write one BENCH_<name>.json per bench case (wall time + a "
+             "snapshot of repro's default metrics registry) into DIR",
+    )
+
+
+def _slug(nodeid: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", nodeid.split("::", 1)[-1]).strip("_")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """With ``--json-out DIR``, record each case's wall time and the delta
+    of the process-wide metrics registry as ``DIR/BENCH_<name>.json``."""
+    out_dir = item.config.getoption("--json-out")
+    if not out_dir:
+        yield
+        return
+    from repro.obs import default_registry
+
+    before = default_registry().snapshot()
+    t0 = time.perf_counter()
+    outcome = yield
+    duration = time.perf_counter() - t0
+    payload = {
+        "nodeid": item.nodeid,
+        "duration_seconds": duration,
+        "passed": outcome.excinfo is None,
+        "metrics_before": before,
+        "metrics_after": default_registry().snapshot(),
+    }
+    dest = Path(out_dir)
+    dest.mkdir(parents=True, exist_ok=True)
+    (dest / f"BENCH_{_slug(item.nodeid)}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

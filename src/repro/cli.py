@@ -6,8 +6,11 @@ Usage::
     python -m repro survey   INPUT.mtx [--h 128]
     python -m repro collection CLASS [--count N] [--seed S]
     python -m repro preprocess INPUT.mtx [...] --cache-dir DIR [--workers N]
+                          [--profile]
     python -m repro serve INPUT.mtx --cache-dir DIR [--h 64] [--requests N]
                           [--max-retries N] [--deadline SECONDS]
+                          [--metrics-file M.json] [--trace-file T.json]
+    python -m repro stats [--metrics-file M.json] [--cache-dir DIR]
     python -m repro doctor --cache-dir DIR
 
 ``reorder`` writes the reordered (still symmetric) matrix and prints the
@@ -15,26 +18,39 @@ conformity report; ``survey`` runs the best-pattern search and the modelled
 SpMM comparison for one matrix; ``collection`` prints Table-1-style stats of
 the synthetic SuiteSparse stand-in; ``preprocess`` runs the offline
 pipeline (autoselect → reorder → compress) into a content-addressed
-artifact cache, fanning batches out over ``--workers`` processes; ``serve``
-answers SpMM requests from those artefacts (retrying/degrading per
-``--max-retries`` / ``--deadline``) and verifies the output against the
-dense reference; ``doctor`` fsck-checks a cache directory, quarantining
-corrupt artefacts and cleaning half-written temp files.
+artifact cache, fanning batches out over ``--workers`` processes
+(``--profile`` prints the run's span tree); ``serve`` answers SpMM requests
+from those artefacts (retrying/degrading per ``--max-retries`` /
+``--deadline``) and verifies the output against the dense reference,
+optionally exporting metrics/trace files; ``stats`` pretty-prints a metrics
+export and/or cache-directory statistics; ``doctor`` fsck-checks a cache
+directory, quarantining corrupt artefacts and cleaning half-written temp
+files.
+
+Output goes through the ``repro`` logger hierarchy (see
+:func:`repro.obs.logging_setup`); ``-v/--verbose`` raises it to DEBUG and
+``-q/--quiet`` lowers it to WARNING.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+from pathlib import Path
 
 import numpy as np
 
 from .bench import render_table
 from .core import VNMPattern, find_best_pattern, reorder
 from .graphs import collection_stats, graph_from_mtx, graph_to_mtx, suitesparse_like_collection
+from .obs import MetricsRegistry, logging_setup, render_tree, use_tracer
 from .sptc import CSRMatrix, CostModel, HybridVNM, SpmmWorkload
 
 __all__ = ["main", "parse_pattern"]
+
+logger = logging.getLogger("repro.cli")
 
 
 def parse_pattern(text: str) -> VNMPattern:
@@ -56,32 +72,34 @@ def _cmd_reorder(args) -> int:
     res = reorder(graph.bitmatrix(), args.pattern, max_iter=args.max_iter,
                   time_budget=args.time_budget)
     for key, value in res.summary().items():
-        print(f"{key}: {value}")
+        logger.info(f"{key}: {value}")
     if args.output:
         reordered = graph.relabel(res.permutation)
         graph_to_mtx(reordered, args.output)
-        print(f"wrote {args.output}")
+        logger.info(f"wrote {args.output}")
     return 0 if res.conforms else 1
 
 
 def _cmd_survey(args) -> int:
     graph = graph_from_mtx(args.input)
     bm = graph.bitmatrix()
-    print(f"{args.input}: {graph.n} vertices, nnz {bm.nnz()}, density {bm.density():.4%}")
+    logger.info(
+        f"{args.input}: {graph.n} vertices, nnz {bm.nnz()}, density {bm.density():.4%}"
+    )
     best = find_best_pattern(bm, max_iter=args.max_iter)
     if not best.succeeded:
-        print("no conforming V:N:M pattern found")
+        logger.info("no conforming V:N:M pattern found")
         return 1
-    print(f"best pattern: {best.pattern}")
+    logger.info(f"best pattern: {best.pattern}")
     for pat, ok in best.attempts:
-        print(f"  tried {pat}: {'conforms' if ok else 'fails'}")
+        logger.info(f"  tried {pat}: {'conforms' if ok else 'fails'}")
     cm = CostModel()
     csr = CSRMatrix.from_scipy(best.result.matrix.to_scipy())
     hy = HybridVNM.compress_csr(csr, best.pattern)
     t_csr = cm.time_csr_spmm(SpmmWorkload.from_csr(csr, args.h))
     t_sptc = hy.model_time(cm, args.h)
-    print(f"modelled SpMM (H={args.h}): CSR {t_csr * 1e6:.1f}us, "
-          f"SPTC {t_sptc * 1e6:.1f}us, speedup {t_csr / t_sptc:.2f}x")
+    logger.info(f"modelled SpMM (H={args.h}): CSR {t_csr * 1e6:.1f}us, "
+                f"SPTC {t_sptc * 1e6:.1f}us, speedup {t_csr / t_sptc:.2f}x")
     return 0
 
 
@@ -93,8 +111,8 @@ def _cmd_collection(args) -> int:
         if key == "n_graphs":
             continue
         rows.append([key, agg["avg"], agg["med"]])
-    print(render_table(f"{args.cls} class ({stats['n_graphs']} graphs)",
-                       ["stat", "avg", "med"], rows))
+    logger.info(render_table(f"{args.cls} class ({stats['n_graphs']} graphs)",
+                             ["stat", "avg", "med"], rows))
     return 0
 
 
@@ -114,57 +132,147 @@ def _cmd_preprocess(args) -> int:
 
     graphs = [graph_from_mtx(path) for path in args.inputs]
     cache = ArtifactCache(args.cache_dir)
-    results = preprocess_many(
-        graphs, _build_plan(args), n_workers=args.workers, cache=cache
-    )
+    if args.profile:
+        with use_tracer() as tracer:
+            results = preprocess_many(
+                graphs, _build_plan(args), n_workers=args.workers, cache=cache
+            )
+    else:
+        tracer = None
+        results = preprocess_many(
+            graphs, _build_plan(args), n_workers=args.workers, cache=cache
+        )
     for path, res in zip(args.inputs, results):
         status = "cache hit" if res.cached else "preprocessed"
-        print(f"{path}: {status} — pattern {res.pattern}, backend {res.backend}, "
-              f"key {res.cache_key}")
+        logger.info(f"{path}: {status} — pattern {res.pattern}, backend {res.backend}, "
+                    f"key {res.cache_key}")
         if not res.cached and res.summary:
-            print(f"  reorder: {res.summary.get('iterations')} iterations, "
-                  f"improvement {res.summary.get('improvement_rate', 0.0):.2%}, "
-                  f"conforms {res.summary.get('conforms')}")
-    print(f"cache {cache.cache_dir}: {len(cache)} artefact(s), "
-          f"{cache.stats.hits} hit(s), {cache.stats.misses} miss(es)")
+            logger.info(f"  reorder: {res.summary.get('iterations')} iterations, "
+                        f"improvement {res.summary.get('improvement_rate', 0.0):.2%}, "
+                        f"conforms {res.summary.get('conforms')}")
+    logger.info(f"cache {cache.cache_dir}: {len(cache)} artefact(s), "
+                f"{cache.stats.hits} hit(s), {cache.stats.misses} miss(es)")
+    if tracer is not None:
+        logger.info("profile (wall time per span):")
+        logger.info(tracer.render())
     return 0
 
 
 def _cmd_serve(args) -> int:
     from .pipeline import ArtifactCache, RetryPolicy, ServingSession, preprocess
 
-    graph = graph_from_mtx(args.input)
-    cache = ArtifactCache(args.cache_dir)
-    result = preprocess(graph, _build_plan(args), cache=cache)
-    print(f"{args.input}: {'loaded cached artefact' if result.cached else 'preprocessed'} "
-          f"(pattern {result.pattern}, backend {result.backend})")
-    policy = RetryPolicy(max_attempts=args.max_retries + 1, deadline=args.deadline)
-    session = ServingSession.from_result(result, retry_policy=policy)
+    metrics = MetricsRegistry() if args.metrics_file else None
 
-    # Integer-valued features keep every partial sum exact, so the served
-    # output must match the dense reference bitwise, not just approximately.
-    rng = np.random.default_rng(args.seed)
-    reference_op = graph.dense_adjacency()
-    ok = True
-    for i in range(args.requests):
-        features = rng.integers(0, 1 << 10, size=(graph.n, args.h)).astype(np.float64)
-        out = session.spmm(features)
-        reference = reference_op @ features
-        bitwise = bool(np.array_equal(out, reference))
-        ok &= bitwise
-        print(f"request {i}: output {out.shape}, bitwise-equal to dense reference: {bitwise}")
+    graph = graph_from_mtx(args.input)
+    cache = ArtifactCache(args.cache_dir, metrics=metrics)
+
+    def run() -> tuple[ServingSession, bool]:
+        result = preprocess(graph, _build_plan(args), cache=cache)
+        logger.info(
+            f"{args.input}: {'loaded cached artefact' if result.cached else 'preprocessed'} "
+            f"(pattern {result.pattern}, backend {result.backend})"
+        )
+        policy = RetryPolicy(max_attempts=args.max_retries + 1, deadline=args.deadline)
+        session = ServingSession.from_result(
+            result, retry_policy=policy, metrics=metrics
+        )
+
+        # Integer-valued features keep every partial sum exact, so the served
+        # output must match the dense reference bitwise, not just approximately.
+        rng = np.random.default_rng(args.seed)
+        reference_op = graph.dense_adjacency()
+        ok = True
+        for i in range(args.requests):
+            features = rng.integers(0, 1 << 10, size=(graph.n, args.h)).astype(np.float64)
+            out = session.spmm(features)
+            reference = reference_op @ features
+            bitwise = bool(np.array_equal(out, reference))
+            ok &= bitwise
+            logger.info(f"request {i}: output {out.shape}, "
+                        f"bitwise-equal to dense reference: {bitwise}")
+        return session, ok
+
+    if args.trace_file:
+        with use_tracer() as tracer:
+            session, ok = run()
+    else:
+        tracer = None
+        session, ok = run()
+
     cm = session.cost_model
     t_csr = cm.time_csr_spmm(SpmmWorkload.from_csr(graph.csr(), args.h))
     t_req = session.model_request_seconds(args.h)
-    print(f"modelled per-request time {t_req * 1e6:.1f}us "
-          f"({t_csr / t_req:.2f}x vs CSR baseline); served {session.n_requests} request(s)")
+    logger.info(f"modelled per-request time {t_req * 1e6:.1f}us "
+                f"({t_csr / t_req:.2f}x vs CSR baseline); "
+                f"served {session.n_requests} request(s)")
     stats = session.resilience
     if stats.retries or stats.downgrades or cache.stats.quarantined:
-        print(f"resilience: {stats.retries} retr(ies), "
-              f"{cache.stats.quarantined} quarantined artefact(s)")
+        logger.info(f"resilience: {stats.retries} retr(ies), "
+                    f"{cache.stats.quarantined} quarantined artefact(s)")
         for event in stats.downgrades:
-            print(f"  downgraded {event.from_backend} -> {event.to_backend}: {event.reason}")
+            logger.info(f"  downgraded {event.from_backend} -> {event.to_backend}: "
+                        f"{event.reason}")
+
+    if metrics is not None:
+        path = Path(args.metrics_file)
+        if path.suffix == ".prom":
+            path.write_text(metrics.to_prometheus())
+        else:
+            path.write_text(metrics.to_json(indent=2) + "\n")
+        logger.info(f"wrote metrics to {path}")
+    if tracer is not None:
+        path = Path(args.trace_file)
+        path.write_text(json.dumps(tracer.to_dicts(), indent=2) + "\n")
+        logger.info(f"wrote trace to {path}")
     return 0 if ok else 1
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _cmd_stats(args) -> int:
+    if not args.metrics_file and not args.cache_dir:
+        logger.warning("stats: pass --metrics-file and/or --cache-dir")
+        return 2
+    if args.metrics_file:
+        snapshot = json.loads(Path(args.metrics_file).read_text())
+        logger.info(f"metrics from {args.metrics_file}:")
+        for name in sorted(snapshot):
+            for series in snapshot[name]:
+                labels = series.get("labels") or {}
+                label_text = (
+                    "{" + ", ".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+                    if labels else ""
+                )
+                if series.get("type") == "histogram":
+                    logger.info(
+                        f"  {name}{label_text} (histogram): count={series['count']} "
+                        f"avg={_fmt_seconds(series['avg'])} "
+                        f"p50={_fmt_seconds(series['p50'])} "
+                        f"p95={_fmt_seconds(series['p95'])} "
+                        f"p99={_fmt_seconds(series['p99'])}"
+                    )
+                else:
+                    logger.info(
+                        f"  {name}{label_text} ({series.get('type')}): "
+                        f"{series.get('value')}"
+                    )
+    if args.cache_dir:
+        from .pipeline import ArtifactCache
+
+        cache = ArtifactCache(args.cache_dir)
+        artefacts = sorted(cache.cache_dir.glob("*.npz"))
+        total_bytes = sum(p.stat().st_size for p in artefacts)
+        logger.info(f"cache {cache.cache_dir}: {len(artefacts)} artefact(s), "
+                    f"{total_bytes} bytes, {len(cache.quarantined())} quarantined")
+        for p in artefacts:
+            logger.info(f"  {p.stem}  {p.stat().st_size} bytes")
+    return 0
 
 
 def _cmd_doctor(args) -> int:
@@ -172,21 +280,25 @@ def _cmd_doctor(args) -> int:
 
     cache = ArtifactCache(args.cache_dir)
     report = cache.fsck()
-    print(f"cache {cache.cache_dir}: checked {report['checked']} artefact(s)")
+    logger.info(f"cache {cache.cache_dir}: checked {report['checked']} artefact(s)")
     for name in report["tmp_removed"]:
-        print(f"  removed half-written temp file {name}")
+        logger.info(f"  removed half-written temp file {name}")
     for key in report["ok"]:
-        print(f"  ok       {key}")
+        logger.info(f"  ok       {key}")
     for key in report["corrupt"]:
-        print(f"  corrupt  {key} -> quarantined in {cache.quarantine_dir}")
+        logger.info(f"  corrupt  {key} -> quarantined in {cache.quarantine_dir}")
     if report["corrupt"]:
-        print(f"{len(report['corrupt'])} corrupt artefact(s) quarantined; "
-              f"rerun `repro preprocess` to rebuild them")
+        logger.info(f"{len(report['corrupt'])} corrupt artefact(s) quarantined; "
+                    f"rerun `repro preprocess` to rebuild them")
     return 1 if report["corrupt"] else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="more output (DEBUG); repeatable")
+    p.add_argument("-q", "--quiet", action="count", default=0,
+                   help="less output (WARNING only)")
     sub = p.add_subparsers(dest="command", required=True)
 
     r = sub.add_parser("reorder", help="reorder a MatrixMarket adjacency matrix")
@@ -226,6 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--workers", type=int, default=None,
                     help="process-pool size for batch preprocessing "
                          "(default: REPRO_WORKERS or cores-1)")
+    pp.add_argument("--profile", action="store_true",
+                    help="trace the run and print the span tree (wall time per stage)")
     pp.set_defaults(fn=_cmd_preprocess)
 
     sv = sub.add_parser("serve",
@@ -239,7 +353,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="kernel retries per request before degrading (default 2)")
     sv.add_argument("--deadline", type=float, default=None,
                     help="per-request deadline in seconds (default: none)")
+    sv.add_argument("--metrics-file", default=None,
+                    help="export request metrics here (.json snapshot, or "
+                         ".prom Prometheus text)")
+    sv.add_argument("--trace-file", default=None,
+                    help="trace the run and write the span tree here as JSON")
     sv.set_defaults(fn=_cmd_serve)
+
+    st = sub.add_parser("stats",
+                        help="pretty-print a metrics export and/or cache statistics")
+    st.add_argument("--metrics-file", default=None,
+                    help="metrics JSON written by `repro serve --metrics-file`")
+    st.add_argument("--cache-dir", default=None,
+                    help="artifact cache directory to summarize")
+    st.set_defaults(fn=_cmd_stats)
 
     dr = sub.add_parser("doctor",
                         help="fsck a cache directory: verify checksums, quarantine corrupt entries")
@@ -251,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    logging_setup(args.verbose - args.quiet)
     return args.fn(args)
 
 

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from .bitmatrix import BitMatrix
 from .patterns import NMPattern, VNMPattern
 from .permutation import Permutation
@@ -84,63 +86,84 @@ def reorder(
     if isinstance(pattern, NMPattern):
         pattern = pattern.to_vnm()
     nm = pattern.nm
-    t0 = time.perf_counter()
-    current = bm
-    perm = Permutation.identity(bm.n_rows)
-    init_invalid = total_pscore(current, nm)
-    init_mb = mbscore(current, pattern)
-    trace: list[dict] = []
-    iterations = 0
+    with obs_trace.span("reorder", pattern=str(pattern), n=bm.n_rows) as root:
+        t0 = time.perf_counter()
+        current = bm
+        perm = Permutation.identity(bm.n_rows)
+        with obs_trace.span("reorder.scores", phase="initial"):
+            init_invalid = total_pscore(current, nm)
+            init_mb = mbscore(current, pattern)
+            prev = init_invalid + init_mb
+        trace: list[dict] = []
+        iterations = 0
 
-    def violations() -> int:
-        return total_pscore(current, nm) + mbscore(current, pattern)
-
-    deadline = None if time_budget is None else t0 + time_budget
-    prev = violations()
-    best = (prev, perm, current)
-    while prev > 0 and iterations < max_iter:
-        if deadline is not None and time.perf_counter() > deadline:
-            break
-        if use_stage1:
-            s1 = stage1_reorder(
-                current, pattern, max_iter=stage_max_iter, taint_invalid=taint_invalid
+        deadline = None if time_budget is None else t0 + time_budget
+        best = (prev, perm, current)
+        while prev > 0 and iterations < max_iter:
+            if deadline is not None and time.perf_counter() > deadline:
+                break
+            with obs_trace.span("reorder.iteration", index=iterations) as it_span:
+                if use_stage1:
+                    s1 = stage1_reorder(
+                        current, pattern, max_iter=stage_max_iter, taint_invalid=taint_invalid
+                    )
+                    current, perm = s1.matrix, perm.then(s1.permutation)
+                    trace.append(
+                        {"stage": 1, "mbscore": s1.final_mbscore, "iters": s1.iterations}
+                    )
+                if use_stage2:
+                    s2 = stage2_reorder(
+                        current,
+                        nm,
+                        max_iter=stage_max_iter,
+                        require_positive_gain=require_positive_gain,
+                        deadline=deadline,
+                    )
+                    current, perm = s2.matrix, perm.then(s2.permutation)
+                    trace.append(
+                        {"stage": 2, "pscore": s2.final_pscore, "iters": s2.iterations}
+                    )
+                with obs_trace.span("reorder.scores", phase="iteration"):
+                    pscore_now = total_pscore(current, nm)
+                    mb_now = mbscore(current, pattern)
+                    now = pscore_now + mb_now
+                it_span.set(violations=now)
+            iterations += 1
+            obs_events.emit(
+                "reorder.iteration",
+                iteration=iterations,
+                pscore=pscore_now,
+                mbscore=mb_now,
+                delta=prev - now,
+                improvement_rate=improvement_rate(init_invalid, pscore_now),
             )
-            current, perm = s1.matrix, perm.then(s1.permutation)
-            trace.append({"stage": 1, "mbscore": s1.final_mbscore, "iters": s1.iterations})
-        if use_stage2:
-            s2 = stage2_reorder(
-                current,
-                nm,
-                max_iter=stage_max_iter,
-                require_positive_gain=require_positive_gain,
-                deadline=deadline,
-            )
-            current, perm = s2.matrix, perm.then(s2.permutation)
-            trace.append({"stage": 2, "pscore": s2.final_pscore, "iters": s2.iterations})
-        iterations += 1
-        now = violations()
-        if now < best[0]:
-            best = (now, perm, current)
-        # Diminishing-returns cutoff: alternating further is not worth it once
-        # an iteration recovers less than ~2% of the remaining violations.
-        if now >= prev * 0.98:
-            break
-        prev = now
+            if now < best[0]:
+                best = (now, perm, current)
+            # Diminishing-returns cutoff: alternating further is not worth it
+            # once an iteration recovers less than ~2% of the remaining
+            # violations.
+            if now >= prev * 0.98:
+                break
+            prev = now
 
-    # A late non-improving alternation never degrades the returned state.
-    _, perm, current = best
-    return ReorderResult(
-        pattern=pattern,
-        permutation=perm,
-        matrix=current,
-        iterations=iterations,
-        initial_invalid_vectors=init_invalid,
-        final_invalid_vectors=total_pscore(current, nm),
-        initial_mbscore=init_mb,
-        final_mbscore=mbscore(current, pattern),
-        elapsed_seconds=time.perf_counter() - t0,
-        stage_trace=trace,
-    )
+        # A late non-improving alternation never degrades the returned state.
+        _, perm, current = best
+        with obs_trace.span("reorder.scores", phase="final"):
+            final_invalid = total_pscore(current, nm)
+            final_mb = mbscore(current, pattern)
+        root.set(iterations=iterations, final_invalid=final_invalid)
+        return ReorderResult(
+            pattern=pattern,
+            permutation=perm,
+            matrix=current,
+            iterations=iterations,
+            initial_invalid_vectors=init_invalid,
+            final_invalid_vectors=final_invalid,
+            initial_mbscore=init_mb,
+            final_mbscore=final_mb,
+            elapsed_seconds=time.perf_counter() - t0,
+            stage_trace=trace,
+        )
 
 
 def reorder_graph_matrix(adjacency: np.ndarray, pattern: VNMPattern | NMPattern, **kwargs) -> ReorderResult:

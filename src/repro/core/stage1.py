@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .bitmatrix import BitMatrix
 from .hamming import position_codes
 from .patterns import VNMPattern
@@ -89,22 +91,36 @@ def stage1_reorder(
     Returns the composed permutation, the reordered matrix, and the MBScore
     trace.  The matrix argument is not modified.
     """
-    current = bm
-    perm = Permutation.identity(bm.n_rows)
-    history = [mbscore(current, pattern)]
-    iterations = 0
-    while history[-1] > 0 and iterations < max_iter:
-        codes = encode_rows(current, pattern, taint_invalid=taint_invalid)
-        order = lexicographic_row_order(codes)
-        candidate = current.permute_symmetric(order)
-        score = mbscore(candidate, pattern)
-        if score >= history[-1] and iterations > 0:
-            break
-        if score > history[-1]:
-            # The very first sort can only be accepted if it helps.
-            break
-        current = candidate
-        perm = perm.then(Permutation(order))
-        history.append(score)
-        iterations += 1
+    registry = obs_metrics.default_registry()
+    sorts = registry.counter(
+        "reorder_stage1_sorts_total", help="Hamming-position row sorts executed"
+    )
+    gains = registry.counter(
+        "reorder_stage1_mbscore_gain_total", help="total MBScore removed by stage-1 sorts"
+    )
+    with obs_trace.span("stage1", n=bm.n_rows) as sp:
+        current = bm
+        perm = Permutation.identity(bm.n_rows)
+        history = [mbscore(current, pattern)]
+        iterations = 0
+        while history[-1] > 0 and iterations < max_iter:
+            with obs_trace.span("stage1.encode"):
+                codes = encode_rows(current, pattern, taint_invalid=taint_invalid)
+            with obs_trace.span("stage1.sort"):
+                order = lexicographic_row_order(codes)
+            sorts.inc()
+            with obs_trace.span("stage1.permute"):
+                candidate = current.permute_symmetric(order)
+                score = mbscore(candidate, pattern)
+            if score >= history[-1] and iterations > 0:
+                break
+            if score > history[-1]:
+                # The very first sort can only be accepted if it helps.
+                break
+            gains.inc(history[-1] - score)
+            current = candidate
+            perm = perm.then(Permutation(order))
+            history.append(score)
+            iterations += 1
+        sp.set(iterations=iterations, mbscore=history[-1])
     return Stage1Result(perm, current, iterations, history)

@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace as obs_trace
 from .bitmatrix import BitMatrix
 from .patterns import NMPattern
 from .permutation import Permutation
@@ -363,31 +365,45 @@ def stage2_reorder(
     the quadratic grind.  ``deadline`` (a ``time.perf_counter`` value) stops
     the loop between passes once exceeded.  The input matrix is not modified.
     """
-    current = bm
-    perm = Permutation.identity(bm.n_rows)
-    history = [int(pscore_per_segment(current, pattern).sum())]
-    swaps_per_iter: list[int] = []
-    best = (history[0], perm, current)
-    iterations = 0
-    while history[-1] > 0 and iterations < max_iter:
-        if deadline is not None and time.perf_counter() > deadline:
-            break
-        swaps = plan_swaps(
-            current, pattern,
-            require_positive_gain=require_positive_gain, deadline=deadline,
-        )
-        if not swaps:
-            break
-        step = Permutation.from_swaps(bm.n_rows, swaps)
-        current = current.permute_symmetric(step.order)
-        perm = perm.then(step)
-        score = int(pscore_per_segment(current, pattern).sum())
-        history.append(score)
-        swaps_per_iter.append(len(swaps))
-        iterations += 1
-        if score < best[0]:
-            best = (score, perm, current)
-        if score >= history[-2] * (1.0 - min_relative_improvement):
-            break
+    registry = obs_metrics.default_registry()
+    swap_counter = registry.counter(
+        "reorder_stage2_swaps_total", help="vertex swaps applied by stage-2 passes"
+    )
+    gain_counter = registry.counter(
+        "reorder_stage2_pscore_gain_total", help="total PScore removed by stage-2 passes"
+    )
+    with obs_trace.span("stage2", n=bm.n_rows) as sp:
+        current = bm
+        perm = Permutation.identity(bm.n_rows)
+        history = [int(pscore_per_segment(current, pattern).sum())]
+        swaps_per_iter: list[int] = []
+        best = (history[0], perm, current)
+        iterations = 0
+        while history[-1] > 0 and iterations < max_iter:
+            if deadline is not None and time.perf_counter() > deadline:
+                break
+            with obs_trace.span("stage2.plan", index=iterations):
+                swaps = plan_swaps(
+                    current, pattern,
+                    require_positive_gain=require_positive_gain, deadline=deadline,
+                )
+            if not swaps:
+                break
+            with obs_trace.span("stage2.apply", swaps=len(swaps)):
+                step = Permutation.from_swaps(bm.n_rows, swaps)
+                current = current.permute_symmetric(step.order)
+                perm = perm.then(step)
+                score = int(pscore_per_segment(current, pattern).sum())
+            history.append(score)
+            swaps_per_iter.append(len(swaps))
+            swap_counter.inc(len(swaps))
+            if history[-2] > score:
+                gain_counter.inc(history[-2] - score)
+            iterations += 1
+            if score < best[0]:
+                best = (score, perm, current)
+            if score >= history[-2] * (1.0 - min_relative_improvement):
+                break
+        sp.set(iterations=iterations, pscore=min(history))
     _, best_perm, best_matrix = best
     return Stage2Result(best_perm, best_matrix, iterations, history, swaps_per_iter)

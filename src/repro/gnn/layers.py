@@ -82,12 +82,20 @@ class Aggregator:
         Plain operands report a healthy static backend.
         """
         stats = getattr(self.operator, "resilience", None)
-        return {
+        report = {
             "backend": self.backend_name,
             "degraded": bool(stats is not None and stats.degraded),
             "retries": stats.retries if stats is not None else 0,
             "downgrades": tuple(stats.downgrades) if stats is not None else (),
         }
+        # A ServingSession operator with a metrics registry attached also
+        # exposes its live series (latency quantiles, counters) here.
+        metrics = getattr(self.operator, "metrics", None)
+        if callable(metrics):
+            live = metrics()
+            if live:
+                report["metrics"] = live
+        return report
 
 
 class GCNConv:

@@ -1,0 +1,63 @@
+"""``repro.obs`` — observability for the reorder → preprocess → cache →
+serve stack.
+
+Three complementary signal kinds, each with a zero-overhead disabled
+default so library code instruments unconditionally:
+
+* :mod:`repro.obs.metrics` — process-local :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` (fixed log-scale
+  buckets, p50/p95/p99 summaries) and Prometheus-text / JSON exporters.
+* :mod:`repro.obs.trace` — nested :func:`span` context managers building a
+  structured trace tree (wall time, attributes, exception status), with a
+  :class:`NullTracer` default and picklable :class:`SpanRecord`\\ s that
+  survive process-pool workers.
+* :mod:`repro.obs.events` — a structured JSON-lines event log unifying
+  resilience happenings (retries, downgrades, quarantines) and reorder
+  progress under one ``{ts, kind, ...}`` schema.
+
+Plus :func:`logging_setup`, the one sanctioned way output reaches a
+terminal — library code never prints to stdout.
+
+See ``docs/observability.md`` for the metric catalogue, the span
+hierarchy, and the event schema.
+"""
+
+from .events import EventLog, emit, use_events
+from .logconfig import logging_setup
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from .trace import (
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    adopt,
+    render_tree,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "span",
+    "adopt",
+    "use_tracer",
+    "tracing_enabled",
+    "render_tree",
+    "EventLog",
+    "emit",
+    "use_events",
+    "logging_setup",
+]

@@ -1,0 +1,109 @@
+"""Structured event log: one schema for everything that *happens*.
+
+Metrics aggregate and traces time; events **narrate** — each one is a flat
+JSON-able record of a discrete happening with a common envelope::
+
+    {"ts": <unix seconds>, "kind": "serve.downgrade", ...fields}
+
+One log absorbs the pipeline's operational vocabulary under a single
+schema:
+
+* ``reorder.iteration`` — per-iteration progress (pscore/mbscore deltas,
+  running ``improvement_rate``) from :func:`repro.core.reorder.reorder`;
+* ``serve.retry`` / ``serve.downgrade`` — the resilience layer's
+  :class:`~repro.pipeline.resilience.DowngradeEvent` and retry happenings;
+* ``cache.quarantine`` — a corrupt artefact moved aside;
+* ``preprocess.done`` — one graph through the offline stage.
+
+Like tracing, event emission is **off by default**: the module-level
+:func:`emit` is a no-op until an :class:`EventLog` is installed
+(:func:`use_events`), so library code emits unconditionally at zero idle
+cost.  An :class:`EventLog` keeps events in memory and, when given a
+``path``, appends each as one JSON line (the ``--events-file`` format).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["EventLog", "emit", "use_events", "set_event_log", "current_event_log"]
+
+
+class EventLog:
+    """In-memory (and optionally JSON-lines-on-disk) structured event sink."""
+
+    def __init__(self, path=None):
+        self.events: list[dict] = []
+        self.path = Path(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the full record."""
+        record = {"ts": time.time(), "kind": kind, **fields}
+        with self._lock:
+            self.events.append(record)
+            if self._fh is not None:
+                self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+                self._fh.flush()
+        return record
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """Every recorded event with this ``kind``."""
+        return [e for e in self.events if e["kind"] == kind]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+_active: EventLog | None = None
+
+
+def current_event_log() -> EventLog | None:
+    """The active event sink, or ``None`` (emission disabled)."""
+    return _active
+
+
+def set_event_log(log: EventLog | None) -> EventLog | None:
+    """Install ``log`` as the process-wide event sink; returns the old one."""
+    global _active
+    previous = _active
+    _active = log
+    return previous
+
+
+@contextmanager
+def use_events(log: EventLog | None = None):
+    """Scope an event log (default: a fresh in-memory one)."""
+    log = log if log is not None else EventLog()
+    previous = set_event_log(log)
+    try:
+        yield log
+    finally:
+        set_event_log(previous)
+        log.close()
+
+
+def emit(kind: str, **fields) -> None:
+    """Emit to the active log; a cheap no-op when none is installed."""
+    log = _active
+    if log is not None:
+        log.emit(kind, **fields)

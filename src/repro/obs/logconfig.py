@@ -1,0 +1,60 @@
+"""Logging setup for the ``repro`` logger hierarchy.
+
+Library modules log through ``logging.getLogger("repro.<module>")`` and
+**never print to stdout**; a :class:`logging.NullHandler` on the root
+``repro`` logger keeps an un-configured import silent.  The CLI (and any
+embedding application) calls :func:`logging_setup` once to attach a real
+handler; ``repro --verbose`` maps to DEBUG and ``repro -q`` to WARNING.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["logging_setup", "verbosity_level"]
+
+_HANDLER_TAG = "_repro_obs_handler"
+
+# Importing repro.obs must never leave the hierarchy handler-less (the
+# "No handlers could be found" warning) nor force a configuration on hosts.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-q``/``--verbose`` count to a logging level.
+
+    ``-1`` (quiet) → WARNING, ``0`` (default) → INFO, ``>= 1`` → DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.WARNING
+    if verbosity == 0:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def logging_setup(
+    verbosity: int = 0,
+    *,
+    stream=None,
+    fmt: str = "%(message)s",
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy and return its root logger.
+
+    Attaches one stream handler (default: the *current* ``sys.stdout``, so
+    test harnesses that swap stdout capture the output) with a plain
+    message-only format, replacing any handler from a previous call —
+    the function is idempotent and safe to call per CLI invocation.
+    Library diagnostics (DEBUG) appear only with ``verbosity >= 1``.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stdout)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(verbosity_level(verbosity))
+    logger.propagate = False
+    return logger

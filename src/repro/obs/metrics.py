@@ -1,0 +1,321 @@
+"""Process-local metrics: counters, gauges, histograms, and exporters.
+
+A :class:`MetricsRegistry` owns a flat namespace of named instruments, each
+optionally split by labels (a Prometheus-style ``(name, labels)`` series
+key).  Instruments are created on first use and are stable objects, so hot
+paths cache the instrument once and pay only an attribute update per
+observation:
+
+* :class:`Counter` — monotonically increasing total (``_total`` names);
+* :class:`Gauge` — a value that goes up and down (residuals, queue depths);
+* :class:`Histogram` — observations bucketed into **fixed log-scale
+  buckets** with p50/p95/p99 summaries interpolated from the bucket counts
+  (the classic Prometheus histogram-quantile estimate).
+
+Two exporters cover the usual consumers: :meth:`MetricsRegistry.snapshot`
+(JSON-able dict, written by ``repro serve --metrics-file``) and
+:meth:`MetricsRegistry.to_prometheus` (text exposition format).
+
+Counters and gauges update under the GIL with plain attribute arithmetic;
+histograms take a small per-instrument lock because an observation touches
+three fields.  A process-wide :func:`default_registry` collects the
+always-cheap library counters (reorder swap totals and the like); request
+paths — :class:`~repro.pipeline.serving.ServingSession`,
+:class:`~repro.pipeline.cache.ArtifactCache` — only record when the caller
+hands them a registry, keeping the disabled hot path free of bookkeeping.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "DEFAULT_BUCKETS",
+]
+
+# Log-scale (powers of two) latency buckets: 1us .. ~67s, then +Inf.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(27))
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: dict, help: str = ""):
+        self.name = name
+        self.labels = dict(labels)
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+    def _sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "help", "value")
+
+    def __init__(self, name: str, labels: dict, help: str = ""):
+        self.name = name
+        self.labels = dict(labels)
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _sample(self) -> dict:
+        return {"value": self.value}
+
+
+class Histogram:
+    """Observations over fixed log-scale buckets with quantile summaries.
+
+    ``buckets`` are the inclusive upper bounds of each bucket (ascending); an
+    implicit ``+Inf`` bucket catches the tail.  Quantiles are estimated by
+    linear interpolation inside the bucket containing the target rank —
+    exact at bucket edges, resolution-limited (one bucket width) inside.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "help", "buckets", "counts", "sum", "count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError("histogram buckets must be strictly ascending")
+        self.name = name
+        self.labels = dict(labels)
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        # Bisect by hand: bucket lists are short and this avoids an import
+        # on a path that runs per request.
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        with self._lock:
+            self.counts[lo] += 1
+            self.sum += value
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) from the bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            prev_cum = cumulative
+            cumulative += c
+            if cumulative >= rank:
+                hi = self.buckets[i] if i < len(self.buckets) else self.buckets[-1]
+                lo = self.buckets[i - 1] if i > 0 else 0.0
+                if i >= len(self.buckets):
+                    return hi  # +Inf bucket: clamp to the last finite edge
+                frac = (rank - prev_cum) / c
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+        return self.buckets[-1]
+
+    def summary(self) -> dict:
+        """``{count, sum, avg, p50, p95, p99}`` of everything observed."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "avg": self.sum / self.count if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def _sample(self) -> dict:
+        out = self.summary()
+        # Cumulative counts per upper bound — the Prometheus wire shape.
+        cumulative = 0
+        edges = []
+        for bound, c in zip(self.buckets, self.counts):
+            cumulative += c
+            if c:
+                edges.append([bound, cumulative])
+        if self.counts[-1]:
+            edges.append(["+Inf", cumulative + self.counts[-1]])
+        out["buckets"] = edges
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Thread-safe namespace of metric series keyed by ``(name, labels)``."""
+
+    def __init__(self):
+        self._series: dict[tuple[str, tuple], Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- instrument factories (get-or-create) ------------------------------
+    def _get(self, kind: str, name: str, help: str, labels: dict, **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._series.get(key)
+        if metric is not None:
+            if metric.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {metric.kind}, "
+                    f"not a {kind}"
+                )
+            return metric
+        with self._lock:
+            metric = self._series.get(key)
+            if metric is not None:
+                return metric
+            declared = self._kinds.get(name)
+            if declared is not None and declared != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {declared}, not a {kind}"
+                )
+            metric = _KINDS[kind](name, labels, help=help, **kwargs)
+            self._kinds[name] = kind
+            self._series[key] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """The counter series ``name{labels}``, created on first use."""
+        return self._get("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """The gauge series ``name{labels}``, created on first use."""
+        return self._get("gauge", name, help, labels)
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS, **labels,
+    ) -> Histogram:
+        """The histogram series ``name{labels}``, created on first use."""
+        return self._get("histogram", name, help, labels, buckets=buckets)
+
+    # -- introspection ------------------------------------------------------
+    def __iter__(self) -> Iterator:
+        return iter(list(self._series.values()))
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def get(self, name: str, **labels):
+        """The existing series, or ``None`` (never creates)."""
+        return self._series.get((name, _label_key(labels)))
+
+    def reset(self) -> None:
+        """Drop every series (tests and long-lived processes)."""
+        with self._lock:
+            self._series.clear()
+            self._kinds.clear()
+
+    # -- exporters ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able ``{name: [{type, labels, ...samples}, ...]}`` export."""
+        out: dict[str, list] = {}
+        for metric in self:
+            entry = {"type": metric.kind, "labels": metric.labels}
+            entry.update(metric._sample())
+            out.setdefault(metric.name, []).append(entry)
+        return out
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """The :meth:`snapshot` as a JSON string."""
+        return json.dumps(self.snapshot(), sort_keys=True, **dumps_kwargs)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        seen_header: set[str] = set()
+        for metric in sorted(self, key=lambda m: (m.name, _label_key(m.labels))):
+            if metric.name not in seen_header:
+                seen_header.add(metric.name)
+                if metric.help:
+                    lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if metric.kind == "histogram":
+                cumulative = 0
+                for bound, c in zip(metric.buckets, metric.counts):
+                    cumulative += c
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_fmt_labels(metric.labels, le=_fmt_float(bound))} {cumulative}"
+                    )
+                lines.append(
+                    f"{metric.name}_bucket{_fmt_labels(metric.labels, le='+Inf')} "
+                    f"{cumulative + metric.counts[-1]}"
+                )
+                lines.append(f"{metric.name}_sum{_fmt_labels(metric.labels)} {metric.sum}")
+                lines.append(f"{metric.name}_count{_fmt_labels(metric.labels)} {metric.count}")
+            else:
+                lines.append(f"{metric.name}{_fmt_labels(metric.labels)} {metric.value}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_float(value: float) -> str:
+    return repr(float(value))
+
+
+def _fmt_labels(labels: dict, **extra) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry library internals record into."""
+    return _DEFAULT

@@ -1,0 +1,288 @@
+"""Nested structured tracing: spans, trace trees, and the null default.
+
+Instrumented code opens spans through the module-level :func:`span` context
+manager::
+
+    with obs_trace.span("stage1.sort", rows=bm.n_rows):
+        ...
+
+With no tracer installed (the default), :func:`span` hands back a shared
+no-op span — no allocation, no clock reads — so library hot paths stay
+free to instrument unconditionally.  Installing a :class:`Tracer`
+(:func:`use_tracer` / ``repro preprocess --profile``) turns the same calls
+into a tree of :class:`SpanRecord`\\ s carrying wall time, attributes and
+exception status.
+
+Records are plain picklable dataclasses, which is how spans survive
+process-pool workers: a worker runs under its own local tracer, ships its
+root records back inside the job result, and the parent grafts them into
+the live trace with :func:`adopt` (see :func:`repro.parallel.reorder_many`).
+
+Span nesting is tracked per thread (a ``threading.local`` stack), so
+concurrent threads build disjoint subtrees without cross-talk; finished
+roots append under one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "span",
+    "adopt",
+    "use_tracer",
+    "set_tracer",
+    "current_tracer",
+    "tracing_enabled",
+    "render_tree",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) span — plain data, picklable.
+
+    ``start`` is a ``time.perf_counter`` timestamp local to the recording
+    process; durations, not absolute starts, are the cross-process truth.
+    """
+
+    name: str
+    start: float = 0.0
+    duration: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    status: str = "ok"  # "ok" | "error"
+    error: str | None = None
+    children: list["SpanRecord"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["SpanRecord"]:
+        """This record and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["SpanRecord"]:
+        """Every descendant (or self) named ``name``."""
+        return [r for r in self.walk() if r.name == name]
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration not accounted for by direct children."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration_seconds": self.duration,
+            "attrs": self.attrs,
+            "status": self.status,
+            "error": self.error,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpanRecord":
+        return cls(
+            name=payload["name"],
+            duration=payload.get("duration_seconds", 0.0),
+            attrs=dict(payload.get("attrs", {})),
+            status=payload.get("status", "ok"),
+            error=payload.get("error"),
+            children=[cls.from_dict(c) for c in payload.get("children", [])],
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Zero-overhead default: every span is the shared no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def adopt(self, record: SpanRecord) -> None:
+        pass
+
+    @property
+    def roots(self) -> list:
+        return []
+
+
+class _Span:
+    """A live span: context manager that records into its tracer's tree."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.record = SpanRecord(name=name, attrs=attrs)
+
+    def set(self, **attrs) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.record.attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        self._tracer._push(self.record)
+        self.record.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.record.duration = time.perf_counter() - self.record.start
+        if exc is not None:
+            self.record.status = "error"
+            self.record.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._pop(self.record)
+        return False  # never swallow
+
+
+class Tracer:
+    """Accumulates a forest of span trees; thread-safe."""
+
+    enabled = True
+
+    def __init__(self):
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self.roots: list[SpanRecord] = []
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _push(self, record: SpanRecord) -> None:
+        self._stack().append(record)
+
+    def _pop(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        assert stack and stack[-1] is record, "span exit out of order"
+        stack.pop()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            with self._lock:
+                self.roots.append(record)
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a span nested under the thread's current span."""
+        return _Span(self, name, attrs)
+
+    def adopt(self, record: SpanRecord) -> None:
+        """Graft a finished record (e.g. from a worker) into the tree."""
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            with self._lock:
+                self.roots.append(record)
+
+    def to_dicts(self) -> list[dict]:
+        return [r.to_dict() for r in self.roots]
+
+    def render(self, **kwargs) -> str:
+        """The trace forest as an indented text tree."""
+        return render_tree(self.roots, **kwargs)
+
+
+_active: Tracer | NullTracer = NullTracer()
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The active tracer (the shared :class:`NullTracer` by default)."""
+    return _active
+
+
+def tracing_enabled() -> bool:
+    """Whether a real :class:`Tracer` is installed."""
+    return _active.enabled
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as the process-wide active tracer; returns the old."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | None = None):
+    """Scope a tracer (default: a fresh one) over the instrumented code."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, **attrs):
+    """A span on the active tracer (the shared no-op when tracing is off)."""
+    return _active.span(name, **attrs)
+
+
+def adopt(record: SpanRecord | None) -> None:
+    """Graft a worker-produced record into the active trace, if any."""
+    if record is not None:
+        _active.adopt(record)
+
+
+def render_tree(
+    roots: list[SpanRecord] | SpanRecord,
+    *,
+    min_fraction: float = 0.0,
+    with_attrs: bool = True,
+) -> str:
+    """Flamegraph-style text tree: name, wall time, share of the root.
+
+    ``min_fraction`` hides subtrees below that share of their root's time.
+    """
+    if isinstance(roots, SpanRecord):
+        roots = [roots]
+    lines: list[str] = []
+
+    def fmt(record: SpanRecord, depth: int, total: float) -> None:
+        share = record.duration / total if total > 0 else 0.0
+        if depth and share < min_fraction:
+            return
+        attrs = ""
+        if with_attrs and record.attrs:
+            body = ", ".join(f"{k}={v}" for k, v in record.attrs.items())
+            attrs = f"  [{body}]"
+        flag = "  !error" if record.status == "error" else ""
+        indent = "  " * depth
+        lines.append(
+            f"{indent}{record.name:<{max(1, 40 - 2 * depth)}} "
+            f"{record.duration * 1e3:9.3f}ms {share:6.1%}{attrs}{flag}"
+        )
+        for child in record.children:
+            fmt(child, depth + 1, total)
+
+    for root in roots:
+        fmt(root, 0, root.duration)
+    return "\n".join(lines)

@@ -31,13 +31,21 @@ from .core.patterns import VNMPattern
 from .core.permutation import Permutation
 from .core.reorder import reorder
 from .core.scores import improvement_rate
+from .obs import trace as obs_trace
+from .obs.trace import SpanRecord
 
 __all__ = ["ReorderSummary", "reorder_many", "default_workers"]
 
 
 @dataclass
 class ReorderSummary:
-    """Picklable result of one reordering job."""
+    """Picklable result of one reordering job.
+
+    ``trace`` carries the job's span tree (a picklable
+    :class:`~repro.obs.trace.SpanRecord`) when the parent had tracing
+    enabled at submission time; the parent grafts it back into its live
+    trace, so profiling survives the process-pool boundary.
+    """
 
     index: int
     pattern: str
@@ -48,6 +56,7 @@ class ReorderSummary:
     final_mbscore: int
     iterations: int
     elapsed_seconds: float
+    trace: SpanRecord | None = None
 
     @property
     def improvement_rate(self) -> float:
@@ -79,7 +88,7 @@ def _crash_error(index: int, exc: BaseException):
 
 
 def _job(args) -> ReorderSummary:
-    index, words, n_rows, n_cols, pattern_tuple, kwargs, fault = args
+    index, words, n_rows, n_cols, pattern_tuple, kwargs, want_trace, fault = args
     if fault == "exit":
         # Injected hard crash: the worker dies, breaking the pool so the
         # parent's resubmission path runs.  Never taken outside inject().
@@ -88,7 +97,18 @@ def _job(args) -> ReorderSummary:
         raise RuntimeError(f"injected worker fault on job {index}")
     bm = BitMatrix(words, n_rows, n_cols)
     pattern = VNMPattern(*pattern_tuple)
-    res = reorder(bm, pattern, **kwargs)
+    record = None
+    if want_trace:
+        # The worker records into its own local tracer; the finished (and
+        # picklable) root record rides back on the summary so the parent can
+        # graft it into the live trace.
+        with obs_trace.use_tracer() as tracer:
+            res = reorder(bm, pattern, **kwargs)
+        if tracer.roots:
+            record = tracer.roots[0]
+            record.attrs["job"] = index
+    else:
+        res = reorder(bm, pattern, **kwargs)
     return ReorderSummary(
         index=index,
         pattern=str(pattern),
@@ -99,6 +119,7 @@ def _job(args) -> ReorderSummary:
         final_mbscore=res.final_mbscore,
         iterations=res.iterations,
         elapsed_seconds=res.elapsed_seconds,
+        trace=record,
     )
 
 
@@ -124,60 +145,70 @@ def reorder_many(
     """
     from .pipeline import faults  # lazy: pipeline imports us
 
+    want_trace = obs_trace.tracing_enabled()
     jobs = [
         (
             i, bm.words, bm.n_rows, bm.n_cols,
             (pattern.v, pattern.n, pattern.m, pattern.k), reorder_kwargs,
-            faults.worker_directive(i),
+            want_trace, faults.worker_directive(i),
         )
         for i, bm in enumerate(matrices)
     ]
     workers = default_workers() if n_workers is None else n_workers
 
-    if workers <= 1 or len(jobs) <= 1:
-        results = []
-        for job in jobs:
-            if job[-1] == "exit":
-                # Inline mode has no worker process to kill; degrade the
-                # injected hard crash to a soft failure.
-                job = job[:-1] + ("raise",)
-            try:
-                results.append(_job(job))
-            except Exception as exc:
-                failure = _crash_error(job[0], exc)
-                if not return_exceptions:
-                    raise failure from exc
-                results.append(failure)
+    def _merge_traces(results: list) -> list:
+        """Graft worker span records into the caller's live trace, in order."""
+        for res in results:
+            if isinstance(res, ReorderSummary):
+                obs_trace.adopt(res.trace)
         return results
 
-    results: list = [None] * len(jobs)
-    pending = list(range(len(jobs)))
-    restarts = 0
-    while pending:
-        lost: list[int] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_job, jobs[i]): i for i in pending}
-            for fut, i in futures.items():
+    if workers <= 1 or len(jobs) <= 1:
+        with obs_trace.span("parallel.reorder_many", jobs=len(jobs), workers=1):
+            results = []
+            for job in jobs:
+                if job[-1] == "exit":
+                    # Inline mode has no worker process to kill; degrade the
+                    # injected hard crash to a soft failure.
+                    job = job[:-1] + ("raise",)
                 try:
-                    results[i] = fut.result()
-                except BrokenProcessPool:
-                    lost.append(i)
+                    results.append(_job(job))
                 except Exception as exc:
-                    failure = _crash_error(i, exc)
+                    failure = _crash_error(job[0], exc)
                     if not return_exceptions:
                         raise failure from exc
-                    results[i] = failure
-        if not lost:
-            break
-        restarts += 1
-        if restarts > max_pool_restarts:
-            raise _crash_error(lost[0], BrokenProcessPool(
-                f"worker pool broke {restarts} time(s); "
-                f"{len(lost)} job(s) could not be completed"
-            ))
-        # Resubmit the lost jobs to a fresh pool, stripping any injected
-        # fault directive so the retry runs clean.
-        for i in lost:
-            jobs[i] = jobs[i][:-1] + (None,)
-        pending = lost
-    return results
+                    results.append(failure)
+            return _merge_traces(results)
+
+    with obs_trace.span("parallel.reorder_many", jobs=len(jobs), workers=workers):
+        results: list = [None] * len(jobs)
+        pending = list(range(len(jobs)))
+        restarts = 0
+        while pending:
+            lost: list[int] = []
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {pool.submit(_job, jobs[i]): i for i in pending}
+                for fut, i in futures.items():
+                    try:
+                        results[i] = fut.result()
+                    except BrokenProcessPool:
+                        lost.append(i)
+                    except Exception as exc:
+                        failure = _crash_error(i, exc)
+                        if not return_exceptions:
+                            raise failure from exc
+                        results[i] = failure
+            if not lost:
+                break
+            restarts += 1
+            if restarts > max_pool_restarts:
+                raise _crash_error(lost[0], BrokenProcessPool(
+                    f"worker pool broke {restarts} time(s); "
+                    f"{len(lost)} job(s) could not be completed"
+                ))
+            # Resubmit the lost jobs to a fresh pool, stripping any injected
+            # fault directive so the retry runs clean.
+            for i in lost:
+                jobs[i] = jobs[i][:-1] + (None,)
+            pending = lost
+        return _merge_traces(results)

@@ -31,11 +31,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 from ..core.bitmatrix import BitMatrix
+from ..obs import events as obs_events
 from ..sptc import serialize
 from . import faults
 from .preprocess import PreprocessPlan
@@ -43,9 +46,10 @@ from .preprocess import PreprocessPlan
 __all__ = ["ArtifactCache", "CacheStats", "cache_key", "adjacency_fingerprint"]
 
 # Failure modes a damaged .npz can surface: structural (BadZipFile/OSError/
-# EOFError), missing arrays (KeyError), or content-level (ValueError, which
-# includes serialize's ArtifactCorruptError checksum failures).
-_CORRUPT_ERRORS = (ValueError, KeyError, OSError, EOFError, zipfile.BadZipFile)
+# EOFError), compressed-stream damage (zlib.error), missing arrays
+# (KeyError), or content-level (ValueError, which includes serialize's
+# ArtifactCorruptError checksum failures).
+_CORRUPT_ERRORS = (ValueError, KeyError, OSError, EOFError, zipfile.BadZipFile, zlib.error)
 
 
 def adjacency_fingerprint(bm: BitMatrix) -> str:
@@ -76,12 +80,31 @@ class CacheStats:
 
 
 class ArtifactCache:
-    """A directory of ``<key>.npz`` artefacts with hit/miss accounting."""
+    """A directory of ``<key>.npz`` artefacts with hit/miss accounting.
 
-    def __init__(self, cache_dir):
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) turns on hit/miss/
+    corrupt/store counters plus load/store latency histograms; without it
+    only the cheap :class:`CacheStats` fields are kept.
+    """
+
+    def __init__(self, cache_dir, *, metrics=None):
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self.metrics = metrics
+        if metrics is not None:
+            self._m_hits = metrics.counter("cache_hits_total", help="artefact cache hits")
+            self._m_misses = metrics.counter("cache_misses_total", help="artefact cache misses")
+            self._m_corrupt = metrics.counter(
+                "cache_corrupt_total", help="corrupt artefacts quarantined"
+            )
+            self._m_stores = metrics.counter("cache_stores_total", help="artefacts stored")
+            self._m_load = metrics.histogram(
+                "cache_load_seconds", help="artefact load latency"
+            )
+            self._m_store = metrics.histogram(
+                "cache_store_seconds", help="artefact store latency"
+            )
 
     @property
     def quarantine_dir(self) -> Path:
@@ -102,6 +125,9 @@ class ArtifactCache:
         dest = self.quarantine_dir / path.name
         os.replace(path, dest)
         self.stats.quarantined += 1
+        if self.metrics is not None:
+            self._m_corrupt.inc()
+        obs_events.emit("cache.quarantine", key=path.stem, dest=str(dest))
         return dest
 
     def quarantined(self) -> list[Path]:
@@ -120,15 +146,23 @@ class ArtifactCache:
         path = self.path(key)
         if not path.exists():
             self.stats.misses += 1
+            if self.metrics is not None:
+                self._m_misses.inc()
             return None
         faults.maybe_corrupt_cache_file(key, path)
+        t0 = time.perf_counter() if self.metrics is not None else 0.0
         try:
             artefact = serialize.load_preprocessed(path)
         except _CORRUPT_ERRORS:
             self._quarantine(path)
             self.stats.misses += 1
+            if self.metrics is not None:
+                self._m_misses.inc()
             return None
         self.stats.hits += 1
+        if self.metrics is not None:
+            self._m_hits.inc()
+            self._m_load.observe(time.perf_counter() - t0)
         return artefact
 
     def store(self, key: str, operand, permutation) -> Path:
@@ -140,12 +174,16 @@ class ArtifactCache:
         """
         path = self.path(key)
         tmp = Path(f"{path}.tmp")
+        t0 = time.perf_counter() if self.metrics is not None else 0.0
         try:
             serialize.save_preprocessed(tmp, operand=operand, permutation=permutation)
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
         self.stats.stores += 1
+        if self.metrics is not None:
+            self._m_stores.inc()
+            self._m_store.observe(time.perf_counter() - t0)
         return path
 
     def invalidate(self, key: str) -> bool:

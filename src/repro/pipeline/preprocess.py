@@ -17,6 +17,8 @@ from typing import Any
 
 from ..core.autoselect import find_best_pattern
 from ..core.bitmatrix import BitMatrix
+from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..core.patterns import VNMPattern
 from ..core.permutation import Permutation
 from ..core.reorder import reorder
@@ -159,31 +161,43 @@ def preprocess(
 ) -> PreprocessResult:
     """Execute ``plan`` on one graph, going through ``cache`` when given."""
     plan = plan or PreprocessPlan()
-    bm = _reorder_target(graph, plan)
+    with obs_trace.span("preprocess", backend=plan.backend) as sp:
+        bm = _reorder_target(graph, plan)
 
-    key = None
-    if cache is not None and plan.backend in _CACHEABLE_BACKENDS:
-        from .cache import cache_key
+        key = None
+        if cache is not None and plan.backend in _CACHEABLE_BACKENDS:
+            from .cache import cache_key
 
-        key = cache_key(bm, plan)
-        hit = cache.load(key)
-        if hit is not None:
-            operand, perm = hit
-            return PreprocessResult(
-                pattern=operand.pattern, permutation=perm, operand=operand,
-                backend=plan.backend, cached=True, cache_key=key,
-            )
+            key = cache_key(bm, plan)
+            with obs_trace.span("preprocess.cache_lookup"):
+                hit = cache.load(key)
+            if hit is not None:
+                operand, perm = hit
+                sp.set(cached=True)
+                obs_events.emit("preprocess.done", cached=True, cache_key=key)
+                return PreprocessResult(
+                    pattern=operand.pattern, permutation=perm, operand=operand,
+                    backend=plan.backend, cached=True, cache_key=key,
+                )
 
-    pattern, perm, summary = _search_or_reorder(bm, plan)
-    csr = _operator_csr(graph, perm, plan)
-    operand = registry.compress(csr, plan.backend, pattern)
+        pattern, perm, summary = _search_or_reorder(bm, plan)
+        with obs_trace.span("preprocess.compress", backend=plan.backend):
+            csr = _operator_csr(graph, perm, plan)
+            operand = registry.compress(csr, plan.backend, pattern)
 
-    if key is not None:
-        cache.store(key, operand, perm)
-    return PreprocessResult(
-        pattern=pattern, permutation=perm, operand=operand,
-        backend=plan.backend, cached=False, cache_key=key, summary=summary,
-    )
+        if key is not None:
+            with obs_trace.span("preprocess.cache_store"):
+                cache.store(key, operand, perm)
+        sp.set(cached=False, pattern=str(pattern))
+        obs_events.emit(
+            "preprocess.done", cached=False, cache_key=key, pattern=str(pattern),
+            iterations=summary.get("iterations"),
+            improvement_rate=summary.get("improvement_rate"),
+        )
+        return PreprocessResult(
+            pattern=pattern, permutation=perm, operand=operand,
+            backend=plan.backend, cached=False, cache_key=key, summary=summary,
+        )
 
 
 def preprocess_many(
@@ -203,64 +217,79 @@ def preprocess_many(
     plan = plan or PreprocessPlan()
     results: list[PreprocessResult | None] = [None] * len(graphs)
 
-    pending: list[int] = []
-    keys: list[str | None] = [None] * len(graphs)
-    for i, graph in enumerate(graphs):
-        if cache is not None and plan.backend in _CACHEABLE_BACKENDS:
-            from .cache import cache_key
+    batch_span = obs_trace.span("preprocess_many", graphs=len(graphs), backend=plan.backend)
+    with batch_span:
+        pending: list[int] = []
+        keys: list[str | None] = [None] * len(graphs)
+        with obs_trace.span("preprocess.cache_lookup", graphs=len(graphs)):
+            for i, graph in enumerate(graphs):
+                if cache is not None and plan.backend in _CACHEABLE_BACKENDS:
+                    from .cache import cache_key
 
-            key = cache_key(_reorder_target(graph, plan), plan)
-            keys[i] = key
-            hit = cache.load(key)
-            if hit is not None:
-                operand, perm = hit
-                results[i] = PreprocessResult(
-                    pattern=operand.pattern, permutation=perm, operand=operand,
-                    backend=plan.backend, cached=True, cache_key=key,
+                    key = cache_key(_reorder_target(graph, plan), plan)
+                    keys[i] = key
+                    hit = cache.load(key)
+                    if hit is not None:
+                        operand, perm = hit
+                        results[i] = PreprocessResult(
+                            pattern=operand.pattern, permutation=perm, operand=operand,
+                            backend=plan.backend, cached=True, cache_key=key,
+                        )
+                        continue
+                pending.append(i)
+        batch_span.set(hits=len(graphs) - len(pending))
+
+        if pending and plan.pattern is not None:
+            mats = [_reorder_target(graphs[i], plan) for i in pending]
+            try:
+                # reorder_many runs each job under a worker-local tracer and
+                # grafts the picklable span records back here (see
+                # repro.parallel), so per-graph reorder spans survive the
+                # process-pool boundary.
+                summaries = reorder_many(
+                    mats, plan.pattern,
+                    n_workers=n_workers,
+                    max_iter=plan.max_iter,
+                    time_budget=plan.time_budget,
+                    **plan.reorder_kwargs,
                 )
-                continue
-        pending.append(i)
-
-    if pending and plan.pattern is not None:
-        mats = [_reorder_target(graphs[i], plan) for i in pending]
-        try:
-            summaries = reorder_many(
-                mats, plan.pattern,
-                n_workers=n_workers,
-                max_iter=plan.max_iter,
-                time_budget=plan.time_budget,
-                **plan.reorder_kwargs,
-            )
-        except WorkerCrashError as exc:
-            # Translate the batch-local job index into the caller's graph
-            # index before the error leaves the pipeline.
-            job = exc.context.get("index")
-            graph_index = pending[job] if isinstance(job, int) and job < len(pending) else None
-            raise WorkerCrashError(
-                f"preprocessing worker failed on graph {graph_index}: {exc}",
-                index=graph_index, job_index=job,
-            ) from exc
-        for i, summ in zip(pending, summaries):
-            perm = summ.permutation
-            csr = _operator_csr(graphs[i], perm, plan)
-            operand = registry.compress(csr, plan.backend, plan.pattern)
-            if keys[i] is not None:
-                cache.store(keys[i], operand, perm)
-            results[i] = PreprocessResult(
-                pattern=plan.pattern, permutation=perm, operand=operand,
-                backend=plan.backend, cached=False, cache_key=keys[i],
-                summary={
-                    "pattern": summ.pattern,
-                    "iterations": summ.iterations,
-                    "initial_invalid_vectors": summ.initial_invalid_vectors,
-                    "final_invalid_vectors": summ.final_invalid_vectors,
-                    "improvement_rate": summ.improvement_rate,
-                    "conforms": summ.conforms,
-                    "elapsed_seconds": summ.elapsed_seconds,
-                },
-            )
-    else:
-        for i in pending:
-            results[i] = preprocess(graphs[i], plan, cache=cache)
+            except WorkerCrashError as exc:
+                # Translate the batch-local job index into the caller's graph
+                # index before the error leaves the pipeline.
+                job = exc.context.get("index")
+                graph_index = pending[job] if isinstance(job, int) and job < len(pending) else None
+                raise WorkerCrashError(
+                    f"preprocessing worker failed on graph {graph_index}: {exc}",
+                    index=graph_index, job_index=job,
+                ) from exc
+            for i, summ in zip(pending, summaries):
+                perm = summ.permutation
+                with obs_trace.span("preprocess.compress", index=i, backend=plan.backend):
+                    csr = _operator_csr(graphs[i], perm, plan)
+                    operand = registry.compress(csr, plan.backend, plan.pattern)
+                if keys[i] is not None:
+                    with obs_trace.span("preprocess.cache_store", index=i):
+                        cache.store(keys[i], operand, perm)
+                obs_events.emit(
+                    "preprocess.done", cached=False, cache_key=keys[i],
+                    pattern=summ.pattern, iterations=summ.iterations,
+                    improvement_rate=summ.improvement_rate,
+                )
+                results[i] = PreprocessResult(
+                    pattern=plan.pattern, permutation=perm, operand=operand,
+                    backend=plan.backend, cached=False, cache_key=keys[i],
+                    summary={
+                        "pattern": summ.pattern,
+                        "iterations": summ.iterations,
+                        "initial_invalid_vectors": summ.initial_invalid_vectors,
+                        "final_invalid_vectors": summ.final_invalid_vectors,
+                        "improvement_rate": summ.improvement_rate,
+                        "conforms": summ.conforms,
+                        "elapsed_seconds": summ.elapsed_seconds,
+                    },
+                )
+        else:
+            for i in pending:
+                results[i] = preprocess(graphs[i], plan, cache=cache)
 
     return results  # type: ignore[return-value]

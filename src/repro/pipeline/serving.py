@@ -21,9 +21,14 @@ instead of erroring.  Failures surface only as the
 
 from __future__ import annotations
 
+import logging
+import time
+
 import numpy as np
 
 from ..core.permutation import Permutation
+from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..sptc.costmodel import CostModel
 from . import registry
 from .resilience import (
@@ -35,6 +40,8 @@ from .resilience import (
 )
 
 __all__ = ["ServingSession"]
+
+logger = logging.getLogger("repro.pipeline.serving")
 
 
 class ServingSession:
@@ -52,6 +59,13 @@ class ServingSession:
     3 attempts).  Downgrades are sticky: once a request forces a fallback,
     later requests serve from the degraded operand; :attr:`resilience`
     records every retry and :class:`DowngradeEvent`.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) turns on per-request
+    observability: the ``spmm_latency_seconds`` histogram, request/retry/
+    downgrade counters, and predicted-vs-measured feeding of the cost
+    model's :class:`~repro.sptc.costmodel.Calibration`.  Left ``None`` (the
+    default) the request path carries no timing or bookkeeping at all —
+    the observability-off hot path is the unchanged pre-obs code path.
     """
 
     def __init__(
@@ -63,6 +77,7 @@ class ServingSession:
         cost_model: CostModel | None = None,
         tag: str = "serving",
         retry_policy: RetryPolicy | None = None,
+        metrics=None,
     ):
         self.operand = operand
         self.permutation = permutation
@@ -74,6 +89,24 @@ class ServingSession:
         self.original_backend = registry.backend_for(operand).name
         self.n_requests = 0
         self.modelled_seconds = 0.0
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_latency = metrics.histogram(
+                "spmm_latency_seconds", help="end-to-end serve request latency"
+            )
+            self._m_requests = metrics.counter(
+                "serve_requests_total", help="spmm requests served"
+            )
+            self._m_retries = metrics.counter(
+                "serve_retries_total", help="kernel attempts retried"
+            )
+            self._m_downgrades = metrics.counter(
+                "serve_downgrades_total", help="backend fallback downgrades"
+            )
+            self._m_residual = metrics.gauge(
+                "costmodel_residual",
+                help="mean relative residual of predicted vs measured kernel time",
+            )
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -121,6 +154,22 @@ class ServingSession:
         squeeze = x.ndim == 1
         if squeeze:
             x = x[:, None]
+        if self._metrics is None:
+            # Observability off: the unchanged hot path — no clocks, no
+            # bookkeeping beyond the request counter.
+            out = self._serve_cycle(x)
+            self.n_requests += 1
+            return out[:, 0] if squeeze else out
+        t0 = time.perf_counter()
+        with obs_trace.span("serve.request", h=x.shape[1]):
+            out = self._serve_cycle(x)
+        self.n_requests += 1
+        self._m_requests.inc()
+        self._m_latency.observe(time.perf_counter() - t0)
+        return out[:, 0] if squeeze else out
+
+    def _serve_cycle(self, x: np.ndarray) -> np.ndarray:
+        """Permute in, execute with recovery, permute back."""
         if self.permutation is not None:
             x = x[self.permutation.order]
         out = self._execute_with_recovery(x)
@@ -128,17 +177,27 @@ class ServingSession:
             restored = np.empty_like(out)
             restored[self.permutation.order] = out
             out = restored
-        self.n_requests += 1
-        return out[:, 0] if squeeze else out
+        return out
 
     def _execute(self, operand, x: np.ndarray) -> np.ndarray:
         """One kernel attempt on ``operand`` (device clock or local model)."""
         if self.device is not None:
             return self.device.spmm(operand, x, tag=self.tag)
+        if self._metrics is None:
+            out = registry.dispatch_spmm(operand, x)
+            self.modelled_seconds += registry.model_spmm_time(
+                self.cost_model, operand, x.shape[1]
+            )
+            return out
+        # Metrics on: measure the kernel and feed the cost model's
+        # calibration so predicted-vs-measured residuals stay observable.
+        t0 = time.perf_counter()
         out = registry.dispatch_spmm(operand, x)
-        self.modelled_seconds += registry.model_spmm_time(
-            self.cost_model, operand, x.shape[1]
-        )
+        measured = time.perf_counter() - t0
+        predicted = registry.model_spmm_time(self.cost_model, operand, x.shape[1])
+        self.modelled_seconds += predicted
+        self.cost_model.calibration.observe(predicted, measured)
+        self._m_residual.set(self.cost_model.calibration.mean_residual)
         return out
 
     def _execute_with_recovery(self, x: np.ndarray) -> np.ndarray:
@@ -146,6 +205,16 @@ class ServingSession:
 
         def count_retry(attempt: int, exc: BaseException) -> None:
             self.resilience.retries += 1
+            if self._metrics is not None:
+                self._m_retries.inc()
+            obs_events.emit(
+                "serve.retry", backend=self.backend_name, attempt=attempt,
+                error=str(exc),
+            )
+            logger.debug(
+                "retrying spmm on backend %r (attempt %d): %s",
+                self.backend_name, attempt, exc,
+            )
 
         try:
             return self.retry_policy.run(
@@ -179,6 +248,16 @@ class ServingSession:
             self.resilience.downgrades.append(
                 DowngradeEvent(from_backend=failed, to_backend=name, reason=str(failure))
             )
+            if self._metrics is not None:
+                self._m_downgrades.inc()
+            obs_events.emit(
+                "serve.downgrade", from_backend=failed, to_backend=name,
+                reason=str(failure),
+            )
+            logger.warning(
+                "serving downgraded from backend %r to %r: %s",
+                failed, name, failure,
+            )
             return out
         raise failure
 
@@ -193,9 +272,32 @@ class ServingSession:
 
         return Aggregator(self, **kwargs)
 
+    def metrics(self) -> dict:
+        """Snapshot of this session's metric series (``{}`` when disabled)."""
+        if self._metrics is None:
+            return {}
+        return self._metrics.snapshot()
+
     def model_request_seconds(self, h: int) -> float:
-        """Cost-model time of one request at feature width ``h``."""
-        return registry.model_spmm_time(self.cost_model, self.operand, h)
+        """Cost-model time of one request at feature width ``h``.
+
+        When served requests have fed the cost model's
+        :class:`~repro.sptc.costmodel.Calibration` (metrics enabled), the
+        raw prediction is corrected by the running measured/predicted
+        factor and the residual gauge is refreshed — otherwise the estimate
+        is returned as-is, flagged at debug level rather than silently.
+        """
+        predicted = registry.model_spmm_time(self.cost_model, self.operand, h)
+        cal = self.cost_model.calibration
+        if cal.count:
+            if self._metrics is not None:
+                self._m_residual.set(cal.mean_residual)
+            return cal.calibrated(predicted)
+        logger.debug(
+            "model_request_seconds(h=%d): uncalibrated estimate %.3es "
+            "(no measured kernel launches yet)", h, predicted,
+        )
+        return predicted
 
     def __repr__(self) -> str:
         degraded = (

@@ -27,11 +27,71 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+import math
+
 from .csr import CSRMatrix
 from .nm_format import NMCompressed
 from .venom import VNMCompressed
 
-__all__ = ["A100Params", "CostModel", "SpmmWorkload", "DEFAULT_PARAMS"]
+__all__ = ["A100Params", "Calibration", "CostModel", "SpmmWorkload", "DEFAULT_PARAMS"]
+
+
+class Calibration:
+    """Running predicted-vs-measured accounting for one cost model.
+
+    Serving (with metrics enabled) feeds every kernel launch's
+    ``(predicted, measured)`` pair in through :meth:`observe`; the running
+    geometric-mean ratio becomes a multiplicative correction
+    (:meth:`calibrated`) and the mean relative residual is exported as the
+    ``costmodel_residual`` gauge — the model's accuracy is continuously
+    observable instead of silently drifting.
+    """
+
+    __slots__ = ("count", "_sum_log_ratio", "_sum_residual", "last_predicted", "last_measured")
+
+    def __init__(self):
+        self.count = 0
+        self._sum_log_ratio = 0.0
+        self._sum_residual = 0.0
+        self.last_predicted = 0.0
+        self.last_measured = 0.0
+
+    def observe(self, predicted: float, measured: float) -> None:
+        """Record one ``(predicted, measured)`` seconds pair."""
+        if predicted <= 0.0 or measured <= 0.0:
+            return
+        self.count += 1
+        self._sum_log_ratio += math.log(measured / predicted)
+        self._sum_residual += (measured - predicted) / predicted
+        self.last_predicted = predicted
+        self.last_measured = measured
+
+    @property
+    def factor(self) -> float:
+        """Geometric-mean ``measured / predicted`` ratio (1.0 when empty)."""
+        if self.count == 0:
+            return 1.0
+        return math.exp(self._sum_log_ratio / self.count)
+
+    @property
+    def mean_residual(self) -> float:
+        """Mean relative residual ``(measured - predicted) / predicted``."""
+        if self.count == 0:
+            return 0.0
+        return self._sum_residual / self.count
+
+    def calibrated(self, predicted: float) -> float:
+        """``predicted`` corrected by the running measured/predicted factor."""
+        return predicted * self.factor
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "factor": self.factor,
+            "mean_residual": self.mean_residual,
+            "last_predicted": self.last_predicted,
+            "last_measured": self.last_measured,
+        }
 
 
 @dataclass(frozen=True)
@@ -85,6 +145,7 @@ class CostModel:
 
     def __init__(self, params: A100Params = DEFAULT_PARAMS):
         self.params = params
+        self.calibration = Calibration()
 
     def with_params(self, **overrides) -> "CostModel":
         return CostModel(replace(self.params, **overrides))

@@ -1,0 +1,55 @@
+"""Event log: envelope schema, JSONL persistence, scoped installation."""
+
+import json
+
+from repro.obs import EventLog, use_events
+from repro.obs import events as obs_events
+
+
+class TestEventLog:
+    def test_envelope_has_ts_and_kind(self):
+        log = EventLog()
+        record = log.emit("serve.retry", backend="vnm", attempt=1)
+        assert record["kind"] == "serve.retry"
+        assert record["backend"] == "vnm"
+        assert isinstance(record["ts"], float)
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        log.emit("a")
+        log.emit("b")
+        log.emit("a", x=1)
+        assert len(log.of_kind("a")) == 2
+        assert len(log) == 3
+
+    def test_jsonl_persistence(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("cache.quarantine", key="abc")
+            log.emit("serve.downgrade", from_backend="vnm", to_backend="csr")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "cache.quarantine" and first["key"] == "abc"
+
+
+class TestModuleEmit:
+    def test_noop_without_log(self):
+        assert obs_events.current_event_log() is None
+        obs_events.emit("ignored", x=1)  # must not raise
+
+    def test_use_events_scopes_the_sink(self):
+        with use_events() as log:
+            obs_events.emit("inside")
+            assert obs_events.current_event_log() is log
+        assert obs_events.current_event_log() is None
+        assert log.of_kind("inside")
+
+    def test_nested_scopes_restore(self):
+        with use_events() as outer:
+            with use_events() as inner:
+                obs_events.emit("deep")
+            obs_events.emit("shallow")
+        assert len(inner.of_kind("deep")) == 1
+        assert len(outer.of_kind("shallow")) == 1
+        assert not outer.of_kind("deep")

@@ -1,0 +1,47 @@
+"""Logging setup: level mapping, handler idempotency, stream binding."""
+
+import logging
+
+from repro.obs import logging_setup
+from repro.obs.logconfig import verbosity_level
+
+
+class TestVerbosityLevel:
+    def test_mapping(self):
+        assert verbosity_level(-2) == logging.WARNING
+        assert verbosity_level(-1) == logging.WARNING
+        assert verbosity_level(0) == logging.INFO
+        assert verbosity_level(1) == logging.DEBUG
+        assert verbosity_level(3) == logging.DEBUG
+
+
+class TestLoggingSetup:
+    def test_idempotent_single_handler(self):
+        logger = logging_setup(0)
+        logger = logging_setup(1)
+        tagged = [h for h in logger.handlers
+                  if getattr(h, "_repro_obs_handler", False)]
+        assert len(tagged) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_binds_current_stdout(self, capsys):
+        logging_setup(0)
+        logging.getLogger("repro.cli").info("hello from the library")
+        assert "hello from the library" in capsys.readouterr().out
+
+    def test_quiet_suppresses_info(self, capsys):
+        logging_setup(-1)
+        logging.getLogger("repro.cli").info("should not appear")
+        logging.getLogger("repro.cli").warning("should appear")
+        out = capsys.readouterr().out
+        assert "should not appear" not in out
+        assert "should appear" in out
+
+    def test_library_silent_without_setup(self, capsys):
+        # A NullHandler keeps un-configured imports from printing anywhere.
+        logger = logging.getLogger("repro")
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_obs_handler", False):
+                logger.removeHandler(handler)
+        logging.getLogger("repro.pipeline.serving").debug("invisible")
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,125 @@
+"""Metrics registry: instruments, bucket edges, quantiles, exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, default_registry
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, reg):
+        c = reg.counter("requests_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self, reg):
+        with pytest.raises(ValueError, match="only go up"):
+            reg.counter("requests_total").inc(-1)
+
+    def test_same_name_same_object(self, reg):
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_labels_split_series(self, reg):
+        a = reg.counter("hits_total", backend="vnm")
+        b = reg.counter("hits_total", backend="csr")
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        g = reg.gauge("depth")
+        g.set(4.0)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_default_buckets_log_scale(self):
+        assert DEFAULT_BUCKETS[0] == 1e-6
+        for lo, hi in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]):
+            assert hi == pytest.approx(2.0 * lo)
+
+    def test_bucket_edges_inclusive_upper(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)   # lands in the <=1.0 bucket, not the next
+        h.observe(1.5)
+        h.observe(100.0)  # +Inf tail
+        assert h.counts == [1, 1, 0, 1]
+
+    def test_rejects_unsorted_buckets(self, reg):
+        with pytest.raises(ValueError, match="ascending"):
+            reg.histogram("bad", buckets=(2.0, 1.0))
+
+    def test_quantiles_interpolate(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)
+        # All mass in (1, 2]: every quantile stays inside that bucket.
+        assert 1.0 <= h.quantile(0.5) <= 2.0
+        assert 1.0 <= h.quantile(0.99) <= 2.0
+        assert h.quantile(1.0) == 2.0
+
+    def test_summary_fields(self, reg):
+        h = reg.histogram("lat")
+        h.observe(0.5)
+        s = h.summary()
+        assert s["count"] == 1 and s["sum"] == 0.5 and s["avg"] == 0.5
+        assert set(s) >= {"p50", "p95", "p99"}
+
+    def test_empty_quantile_zero(self, reg):
+        assert reg.histogram("lat").quantile(0.5) == 0.0
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self, reg):
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_get_never_creates(self, reg):
+        assert reg.get("nope") is None
+        assert len(reg) == 0
+
+    def test_reset(self, reg):
+        reg.counter("x").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_snapshot_json_round_trip(self, reg):
+        reg.counter("hits_total", backend="vnm").inc(3)
+        reg.histogram("lat").observe(2e-6)
+        snap = json.loads(reg.to_json())
+        assert snap["hits_total"][0]["value"] == 3.0
+        assert snap["hits_total"][0]["labels"] == {"backend": "vnm"}
+        hist = snap["lat"][0]
+        assert hist["type"] == "histogram" and hist["count"] == 1
+        assert hist["buckets"]  # sparse cumulative edges present
+
+    def test_prometheus_exposition(self, reg):
+        reg.counter("hits_total", help="cache hits", backend="vnm").inc(2)
+        reg.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        text = reg.to_prometheus()
+        assert "# HELP hits_total cache hits" in text
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{backend="vnm"} 2.0' in text
+        # Cumulative histogram wire shape with the +Inf bucket.
+        assert 'lat_bucket{le="1.0"} 0' in text
+        assert 'lat_bucket{le="2.0"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 1.5" in text and "lat_count 1" in text
+
+
+def test_default_registry_is_process_wide():
+    assert default_registry() is default_registry()

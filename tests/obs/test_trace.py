@@ -1,0 +1,136 @@
+"""Tracing: null default, nested trees, records, adoption, rendering."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import SpanRecord, Tracer, render_tree, use_tracer
+from repro.obs import trace as obs_trace
+
+
+class TestNullDefault:
+    def test_disabled_by_default(self):
+        assert not obs_trace.tracing_enabled()
+
+    def test_null_span_is_shared_noop(self):
+        a = obs_trace.span("anything", x=1)
+        b = obs_trace.span("else")
+        assert a is b
+        with a as sp:
+            sp.set(ignored=True)  # must not raise
+
+
+class TestSpanTrees:
+    def test_nesting_builds_tree(self):
+        with use_tracer() as tracer:
+            with obs_trace.span("outer", n=2):
+                with obs_trace.span("inner.a"):
+                    pass
+                with obs_trace.span("inner.b"):
+                    pass
+        (root,) = tracer.roots
+        assert root.name == "outer" and root.attrs == {"n": 2}
+        assert [c.name for c in root.children] == ["inner.a", "inner.b"]
+        assert root.duration >= sum(c.duration for c in root.children)
+
+    def test_exception_marks_error_and_propagates(self):
+        with use_tracer() as tracer:
+            with pytest.raises(RuntimeError, match="boom"):
+                with obs_trace.span("failing"):
+                    raise RuntimeError("boom")
+        (root,) = tracer.roots
+        assert root.status == "error"
+        assert "RuntimeError: boom" in root.error
+
+    def test_set_attaches_attrs_mid_span(self):
+        with use_tracer() as tracer:
+            with obs_trace.span("work") as sp:
+                sp.set(items=7)
+        assert tracer.roots[0].attrs["items"] == 7
+
+    def test_use_tracer_restores_previous(self):
+        assert not obs_trace.tracing_enabled()
+        with use_tracer():
+            assert obs_trace.tracing_enabled()
+        assert not obs_trace.tracing_enabled()
+
+    def test_threads_build_disjoint_roots(self):
+        with use_tracer() as tracer:
+            def work(i):
+                with obs_trace.span(f"thread.{i}"):
+                    pass
+            threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert sorted(r.name for r in tracer.roots) == [
+            f"thread.{i}" for i in range(4)
+        ]
+
+
+class TestSpanRecord:
+    def _tree(self):
+        leaf = SpanRecord("leaf", duration=0.25)
+        return SpanRecord("root", duration=1.0, attrs={"k": 1}, children=[leaf])
+
+    def test_walk_and_find(self):
+        root = self._tree()
+        assert [r.name for r in root.walk()] == ["root", "leaf"]
+        assert root.find("leaf")[0].duration == 0.25
+
+    def test_self_seconds(self):
+        assert self._tree().self_seconds == 0.75
+
+    def test_dict_round_trip(self):
+        root = self._tree()
+        clone = SpanRecord.from_dict(root.to_dict())
+        assert clone.name == "root" and clone.attrs == {"k": 1}
+        assert clone.children[0].duration == 0.25
+
+    def test_picklable(self):
+        clone = pickle.loads(pickle.dumps(self._tree()))
+        assert clone.children[0].name == "leaf"
+
+
+class TestAdopt:
+    def test_adopt_grafts_under_open_span(self):
+        worker = SpanRecord("worker.reorder", duration=0.1)
+        with use_tracer() as tracer:
+            with obs_trace.span("batch"):
+                obs_trace.adopt(worker)
+        assert tracer.roots[0].children[0] is worker
+
+    def test_adopt_none_is_noop(self):
+        with use_tracer() as tracer:
+            obs_trace.adopt(None)
+        assert tracer.roots == []
+
+    def test_adopt_without_tracer_is_noop(self):
+        obs_trace.adopt(SpanRecord("orphan"))  # must not raise
+
+
+class TestRender:
+    def test_render_tree_shape(self):
+        root = SpanRecord("root", duration=0.01, attrs={"n": 3},
+                          children=[SpanRecord("child", duration=0.004)])
+        text = render_tree(root)
+        lines = text.splitlines()
+        assert "root" in lines[0] and "100.0%" in lines[0] and "[n=3]" in lines[0]
+        assert "child" in lines[1] and "40.0%" in lines[1]
+
+    def test_min_fraction_hides_small_subtrees(self):
+        root = SpanRecord("root", duration=1.0,
+                          children=[SpanRecord("tiny", duration=0.001)])
+        assert "tiny" not in render_tree(root, min_fraction=0.05)
+
+    def test_error_flagged(self):
+        rec = SpanRecord("bad", duration=0.1, status="error", error="X")
+        assert "!error" in render_tree(rec)
+
+    def test_tracer_render(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        assert "a" in tracer.render()

@@ -94,6 +94,20 @@ class TestHitMissInvalidate:
         assert cache.load(first.cache_key) is None
         assert first.cache_key not in cache  # corrupt entry was dropped
 
+    def test_compressed_stream_damage_is_a_miss(self, cache):
+        # Scribbling mid-file keeps the zip structure readable but breaks
+        # the deflate stream, so numpy raises zlib.error (not ValueError).
+        bm = make_bm()
+        plan = PreprocessPlan(pattern=PATTERN)
+        first = preprocess(bm, plan, cache=cache)
+        path = cache.path(first.cache_key)
+        raw = bytearray(path.read_bytes())
+        raw[100:120] = b"\xff" * 20
+        path.write_bytes(bytes(raw))
+        assert cache.load(first.cache_key) is None
+        assert cache.stats.quarantined == 1
+        assert first.cache_key not in cache
+
     def test_clear_and_len(self, cache):
         for seed in range(3):
             preprocess(make_bm(seed), PreprocessPlan(pattern=PATTERN), cache=cache)

@@ -21,6 +21,11 @@ MODULES = [
     "repro.bench",
     "repro.parallel",
     "repro.cli",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.trace",
+    "repro.obs.events",
+    "repro.obs.logconfig",
 ]
 
 
