@@ -115,6 +115,36 @@ def main() -> int:
         reorder(g.bitmatrix(), VNMPattern(1, 2, 4), max_iter=2)
     assert tracer.roots and tracer.roots[0].name == "reorder"
 
+    # Optional (CI perf-smoke job): the same contract must hold with the
+    # repro.perf machinery engaged — a warm WorkerPool + shared-memory
+    # reorder_many under a live tracer, and micro-batched serving under
+    # metrics, both numerically identical to their direct counterparts.
+    if os.environ.get("REPRO_OBS_WITH_POOL") == "1":
+        from repro.parallel import reorder_many
+        from repro.perf import WorkerPool, live_segments
+
+        mats = [g.bitmatrix() for _ in range(4)]
+        direct = reorder_many(mats, VNMPattern(1, 2, 4), n_workers=1, max_iter=2)
+        with WorkerPool(2) as pool, use_tracer() as tracer:
+            pooled = reorder_many(mats, VNMPattern(1, 2, 4), pool=pool, max_iter=2)
+        assert all(np.array_equal(a.order, b.order)
+                   for a, b in zip(direct, pooled))
+        assert live_segments() == []
+        root = tracer.roots[0]
+        assert root.name == "parallel.reorder_many"
+        assert any(c.name == "reorder" for c in root.children), (
+            "worker traces were not grafted back")
+
+        batched = ServingSession.from_result(result, metrics=MetricsRegistry())
+        with batched:
+            futures = [batched.submit(features) for _ in range(3)]
+            batched.flush()
+            outs = [f.result() for f in futures]
+        expect = disabled.spmm(features)
+        assert all(np.array_equal(out, expect) for out in outs)
+        print("OK: pooled reorder and micro-batched serving preserve "
+              "tracing, metrics, and numerics")
+
     return 0 if ok else 1
 
 

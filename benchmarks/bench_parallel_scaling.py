@@ -1,0 +1,188 @@
+"""Batch-reordering transport benchmark (CI ``perf-smoke`` job).
+
+Measures the three ``reorder_many`` transports against each other on a
+synthetic batch of SBM-like matrices:
+
+* ``inline``    — sequential, no pool (the correctness reference);
+* ``pickled``   — an ephemeral executor per call, packed words pickled
+  into every job (the pre-``repro.perf`` behaviour);
+* ``shm_pool``  — one persistent warm :class:`~repro.perf.pool.WorkerPool`
+  reused across rounds, batch words published once through a shared-memory
+  segment (:class:`~repro.perf.shm.SharedMatrixBatch`).
+
+Every mode must produce byte-identical ``ReorderSummary.order`` arrays —
+the benchmark fails hard otherwise.  In full mode (the acceptance
+configuration: >= 64 matrices, >= 4 workers) it also fails when
+``shm_pool`` is not at least ``REPRO_PERF_MIN_SPEEDUP`` (default 1.5) x
+faster than ``pickled``; ``--quick`` runs a tiny smoke configuration and
+skips the speedup assertion (CI machines are too noisy for it).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --json-out .
+
+writes ``BENCH_parallel_scaling.json`` next to the other tracked
+``BENCH_*.json`` result files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import BitMatrix, VNMPattern
+from repro.parallel import reorder_many
+from repro.perf import WorkerPool, live_segments
+
+PATTERN = VNMPattern(1, 2, 4)
+
+
+def make_batch(count: int, n: int, density: float, seed: int = 0) -> list[BitMatrix]:
+    out = []
+    for i in range(count):
+        rng = np.random.default_rng(seed + i)
+        a = rng.random((n, n)) < density
+        a = (a | a.T).astype(np.uint8)
+        np.fill_diagonal(a, 0)
+        out.append(BitMatrix.from_dense(a))
+    return out
+
+
+def timed_rounds(fn, rounds: int) -> list[float]:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def orders_identical(reference, candidate) -> bool:
+    return len(reference) == len(candidate) and all(
+        np.array_equal(a.order, b.order) for a, b in zip(reference, candidate)
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=64,
+                        help="matrices per batch (acceptance floor: 64)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size (acceptance floor: 4)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timed repetitions per mode")
+    parser.add_argument("--n", type=int, default=64, help="matrix dimension")
+    parser.add_argument("--density", type=float, default=0.06)
+    parser.add_argument("--max-iter", type=int, default=0,
+                        help="reorder refinement iterations per matrix; the "
+                             "default (0, stage-1 ordering only) isolates the "
+                             "transport/executor overhead this benchmark "
+                             "compares — raise it to blend in real compute")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke configuration; no speedup assertion")
+    parser.add_argument("--json-out", metavar="DIR", default=None,
+                        help="write BENCH_parallel_scaling.json into DIR")
+    args = parser.parse_args()
+
+    if args.quick:
+        args.batch, args.workers, args.rounds = min(args.batch, 8), 2, 1
+
+    min_speedup = float(os.environ.get("REPRO_PERF_MIN_SPEEDUP", "1.5"))
+    mats = make_batch(args.batch, args.n, args.density)
+    print(f"batch={args.batch} n={args.n} density={args.density} "
+          f"workers={args.workers} rounds={args.rounds}")
+
+    # Correctness reference (and the sequential baseline timing).
+    reference = None
+
+    def run_inline():
+        nonlocal reference
+        reference = reorder_many(mats, PATTERN, n_workers=1,
+                                 max_iter=args.max_iter)
+
+    t_inline = timed_rounds(run_inline, max(1, args.rounds - 1))
+
+    results = {}
+
+    def run_pickled():
+        out = reorder_many(mats, PATTERN, n_workers=args.workers,
+                           use_shared_memory=False, max_iter=args.max_iter)
+        results["pickled"] = out
+
+    t_pickled = timed_rounds(run_pickled, args.rounds)
+
+    with WorkerPool(args.workers) as pool:
+        pool.warm()
+
+        def run_shm_pool():
+            out = reorder_many(mats, PATTERN, pool=pool, use_shared_memory=True,
+                               max_iter=args.max_iter)
+            results["shm_pool"] = out
+
+        t_shm = timed_rounds(run_shm_pool, args.rounds)
+        pool_stats = {"spawns": pool.stats.spawns, "jobs": pool.stats.jobs,
+                      "restarts": pool.stats.restarts}
+
+    ok = True
+    for mode in ("pickled", "shm_pool"):
+        if not orders_identical(reference, results[mode]):
+            print(f"FAIL: {mode} orders differ from the sequential reference")
+            ok = False
+    if live_segments():
+        print(f"FAIL: leaked shared-memory segments: {live_segments()}")
+        ok = False
+
+    med_inline = statistics.median(t_inline)
+    med_pickled = statistics.median(t_pickled)
+    med_shm = statistics.median(t_shm)
+    speedup = med_pickled / med_shm if med_shm > 0 else float("inf")
+
+    print(f"inline   (sequential)        : {med_inline:8.3f} s median")
+    print(f"pickled  (ephemeral pool)    : {med_pickled:8.3f} s median "
+          f"({med_inline / med_pickled:.2f}x vs inline)")
+    print(f"shm_pool (warm, zero-copy)   : {med_shm:8.3f} s median "
+          f"({med_inline / med_shm:.2f}x vs inline)")
+    print(f"shm_pool vs pickled          : {speedup:8.2f}x "
+          f"(threshold {min_speedup:.2f}x, {'skipped' if args.quick else 'enforced'})")
+
+    if not args.quick and speedup < min_speedup:
+        print(f"FAIL: shm+persistent pool speedup {speedup:.2f}x < "
+              f"{min_speedup:.2f}x over per-call pickled transport")
+        ok = False
+    if ok:
+        print("OK: transports agree byte-for-byte; no segment leaks")
+
+    if args.json_out:
+        payload = {
+            "benchmark": "parallel_scaling",
+            "config": {"batch": args.batch, "n": args.n, "density": args.density,
+                       "workers": args.workers, "rounds": args.rounds,
+                       "max_iter": args.max_iter, "quick": args.quick,
+                       "pattern": str(PATTERN), "cpu_count": os.cpu_count()},
+            "seconds": {"inline": t_inline, "pickled": t_pickled,
+                        "shm_pool": t_shm},
+            "median_seconds": {"inline": med_inline, "pickled": med_pickled,
+                               "shm_pool": med_shm},
+            "speedup_shm_pool_vs_pickled": speedup,
+            "min_speedup_threshold": None if args.quick else min_speedup,
+            "orders_byte_identical": ok or orders_identical(
+                reference, results["shm_pool"]),
+            "pool_stats": pool_stats,
+            "passed": ok,
+        }
+        out_path = Path(args.json_out) / "BENCH_parallel_scaling.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,9 @@ Usage::
     python -m repro survey   INPUT.mtx [--h 128]
     python -m repro collection CLASS [--count N] [--seed S]
     python -m repro preprocess INPUT.mtx [...] --cache-dir DIR [--workers N]
-                          [--profile]
+                          [--pool] [--profile]
     python -m repro serve INPUT.mtx --cache-dir DIR [--h 64] [--requests N]
-                          [--max-retries N] [--deadline SECONDS]
+                          [--micro-batch] [--max-retries N] [--deadline SECONDS]
                           [--metrics-file M.json] [--trace-file T.json]
     python -m repro stats [--metrics-file M.json] [--cache-dir DIR]
     python -m repro doctor --cache-dir DIR
@@ -19,9 +19,11 @@ SpMM comparison for one matrix; ``collection`` prints Table-1-style stats of
 the synthetic SuiteSparse stand-in; ``preprocess`` runs the offline
 pipeline (autoselect → reorder → compress) into a content-addressed
 artifact cache, fanning batches out over ``--workers`` processes
-(``--profile`` prints the run's span tree); ``serve`` answers SpMM requests
-from those artefacts (retrying/degrading per ``--max-retries`` /
-``--deadline``) and verifies the output against the dense reference,
+(``--pool`` keeps a warm shared-memory worker pool, ``--profile`` prints
+the run's span tree); ``serve`` answers SpMM requests from those artefacts
+(retrying/degrading per ``--max-retries`` / ``--deadline``,
+``--micro-batch`` coalescing requests through the bounded queue) and
+verifies the output against the dense reference,
 optionally exporting metrics/trace files; ``stats`` pretty-prints a metrics
 export and/or cache-directory statistics; ``doctor`` fsck-checks a cache
 directory, quarantining corrupt artefacts and cleaning half-written temp
@@ -45,7 +47,7 @@ import numpy as np
 from .bench import render_table
 from .core import VNMPattern, find_best_pattern, reorder
 from .graphs import collection_stats, graph_from_mtx, graph_to_mtx, suitesparse_like_collection
-from .obs import MetricsRegistry, logging_setup, render_tree, use_tracer
+from .obs import MetricsRegistry, logging_setup, use_tracer
 from .sptc import CSRMatrix, CostModel, HybridVNM, SpmmWorkload
 
 __all__ = ["main", "parse_pattern"]
@@ -132,16 +134,29 @@ def _cmd_preprocess(args) -> int:
 
     graphs = [graph_from_mtx(path) for path in args.inputs]
     cache = ArtifactCache(args.cache_dir)
-    if args.profile:
-        with use_tracer() as tracer:
+    pool = None
+    if args.pool:
+        from .perf import WorkerPool
+
+        pool = WorkerPool(args.workers)
+        pool.warm()
+        logger.info(f"warmed persistent pool: {pool.n_workers} worker(s)")
+    try:
+        if args.profile:
+            with use_tracer() as tracer:
+                results = preprocess_many(
+                    graphs, _build_plan(args), n_workers=args.workers,
+                    pool=pool, cache=cache,
+                )
+        else:
+            tracer = None
             results = preprocess_many(
-                graphs, _build_plan(args), n_workers=args.workers, cache=cache
+                graphs, _build_plan(args), n_workers=args.workers,
+                pool=pool, cache=cache,
             )
-    else:
-        tracer = None
-        results = preprocess_many(
-            graphs, _build_plan(args), n_workers=args.workers, cache=cache
-        )
+    finally:
+        if pool is not None:
+            pool.close()
     for path, res in zip(args.inputs, results):
         status = "cache hit" if res.cached else "preprocessed"
         logger.info(f"{path}: {status} — pattern {res.pattern}, backend {res.backend}, "
@@ -182,14 +197,27 @@ def _cmd_serve(args) -> int:
         rng = np.random.default_rng(args.seed)
         reference_op = graph.dense_adjacency()
         ok = True
-        for i in range(args.requests):
-            features = rng.integers(0, 1 << 10, size=(graph.n, args.h)).astype(np.float64)
-            out = session.spmm(features)
+        batches = [
+            rng.integers(0, 1 << 10, size=(graph.n, args.h)).astype(np.float64)
+            for _ in range(args.requests)
+        ]
+        if args.micro_batch:
+            # Coalesced path: enqueue everything, flush once, then verify
+            # each per-request output against the dense reference.
+            futures = [session.submit(features) for features in batches]
+            session.flush()
+            outputs = [fut.result() for fut in futures]
+            session.close()
+        else:
+            outputs = [session.spmm(features) for features in batches]
+        for i, (features, out) in enumerate(zip(batches, outputs)):
             reference = reference_op @ features
             bitwise = bool(np.array_equal(out, reference))
             ok &= bitwise
             logger.info(f"request {i}: output {out.shape}, "
                         f"bitwise-equal to dense reference: {bitwise}")
+        if args.micro_batch and session.batcher is None:
+            logger.info(f"served {args.requests} request(s) micro-batched")
         return session, ok
 
     if args.trace_file:
@@ -338,6 +366,9 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--workers", type=int, default=None,
                     help="process-pool size for batch preprocessing "
                          "(default: REPRO_WORKERS or cores-1)")
+    pp.add_argument("--pool", action="store_true",
+                    help="pre-spawn a persistent shared-memory worker pool "
+                         "(repro.perf.WorkerPool) instead of an ephemeral one")
     pp.add_argument("--profile", action="store_true",
                     help="trace the run and print the span tree (wall time per stage)")
     pp.set_defaults(fn=_cmd_preprocess)
@@ -349,6 +380,10 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--h", type=int, default=64)
     sv.add_argument("--requests", type=int, default=3)
     sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--micro-batch", action="store_true",
+                    help="serve requests through the coalescing micro-batch "
+                         "queue (ServingSession.submit) instead of one spmm "
+                         "call per request")
     sv.add_argument("--max-retries", type=int, default=2,
                     help="kernel retries per request before degrading (default 2)")
     sv.add_argument("--deadline", type=float, default=None,

@@ -72,6 +72,20 @@ class BitMatrix:
         bm._set_bits(coo.row.astype(np.int64), coo.col.astype(np.int64))
         return bm
 
+    @classmethod
+    def from_buffer(cls, words: np.ndarray, n_rows: int, n_cols: int) -> "BitMatrix":
+        """Wrap an existing packed word array **without copying**.
+
+        ``words`` may view externally owned memory (e.g. a
+        ``multiprocessing.shared_memory`` segment — see
+        :mod:`repro.perf.shm`); the caller keeps that memory alive for the
+        matrix's lifetime.  A read-only ``words`` yields a read-only matrix:
+        the mutating methods (``set``, ``set_column``, ``swap_*``) raise,
+        while the permutation/segment routines — which build new arrays —
+        work unchanged.
+        """
+        return cls(words, n_rows, n_cols)
+
     def copy(self) -> "BitMatrix":
         return BitMatrix(self.words.copy(), self.n_rows, self.n_cols)
 

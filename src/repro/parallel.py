@@ -8,19 +8,32 @@ compact summaries (permutation order + scores), keeping pickling cheap.
 The same pattern covers the paper's §4.4 deployment note: per-partition
 reordering of a distributed graph is independent per device.
 
+Performance (see :mod:`repro.perf` and ``docs/performance.md``): by default
+the batch's packed ``uint64`` words are published once through a
+shared-memory segment (:class:`repro.perf.shm.SharedMatrixBatch`) and
+workers attach zero-copy read-only views instead of unpickling a copy per
+job; jobs are submitted in chunks to amortize executor round-trips; and a
+persistent :class:`repro.perf.pool.WorkerPool` can be passed as ``pool=``
+so repeated batches reuse warm workers instead of re-spawning a
+``ProcessPoolExecutor`` every call.
+
 Fault tolerance: a job that raises surfaces as a
 :class:`~repro.pipeline.resilience.WorkerCrashError` carrying the batch
 index (or is returned in place with ``return_exceptions=True``, so one bad
 matrix no longer aborts the batch), and a worker process that dies —
-``BrokenProcessPool`` — has its lost jobs resubmitted to a fresh pool.
-The :mod:`repro.pipeline.faults` harness can script both failure kinds
-deterministically.
+``BrokenProcessPool`` — has its lost jobs resubmitted to a restarted pool.
+Shared-memory segments are disposed (closed **and** unlinked) on every exit
+path, including raised faults and broken pools.  The
+:mod:`repro.pipeline.faults` harness can script every failure kind
+deterministically, including segment-creation failure (which exercises the
+pickled-payload fallback).
 """
 
 from __future__ import annotations
 
+import logging
+import math
 import os
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
@@ -35,6 +48,8 @@ from .obs import trace as obs_trace
 from .obs.trace import SpanRecord
 
 __all__ = ["ReorderSummary", "reorder_many", "default_workers"]
+
+logger = logging.getLogger("repro.parallel")
 
 
 @dataclass
@@ -72,30 +87,70 @@ class ReorderSummary:
 
 
 def default_workers() -> int:
-    """Respect ``REPRO_WORKERS`` if set, else leave one core free."""
+    """Respect ``REPRO_WORKERS`` if set, else leave one core free.
+
+    A malformed ``REPRO_WORKERS`` (non-integer, or ``<= 0``) is logged and
+    ignored rather than exploding deep inside a batch call.
+    """
+    fallback = max(1, (os.cpu_count() or 2) - 1)
     env = os.environ.get("REPRO_WORKERS")
-    if env:
-        return max(1, int(env))
-    return max(1, (os.cpu_count() or 2) - 1)
+    if not env:
+        return fallback
+    try:
+        value = int(env)
+    except ValueError:
+        logger.warning(
+            "ignoring non-integer REPRO_WORKERS=%r; using %d worker(s)",
+            env, fallback,
+        )
+        return fallback
+    if value < 1:
+        logger.warning(
+            "ignoring non-positive REPRO_WORKERS=%r; using %d worker(s)",
+            env, fallback,
+        )
+        return fallback
+    return value
 
 
-def _crash_error(index: int, exc: BaseException):
+def _crash_error(index: int, failure):
     from .pipeline.resilience import WorkerCrashError  # lazy: pipeline imports us
 
+    detail = failure if isinstance(failure, str) else repr(failure)
     return WorkerCrashError(
-        f"reorder job {index} failed in worker: {exc!r}", index=index
+        f"reorder job {index} failed in worker: {detail}", index=index
     )
 
 
+# -- job payloads ---------------------------------------------------------
+#
+# A job tuple is (index, payload, pattern_tuple, kwargs, want_trace, fault).
+# ``payload`` is either ("words", words, n_rows, n_cols) — the packed array
+# pickled into the job (inline mode, or the fallback when shared memory is
+# unavailable) — or ("shm", MatrixHandle) — a tiny pointer into a
+# SharedMatrixBatch segment the worker attaches zero-copy.
+
+def _materialize(payload) -> BitMatrix:
+    kind = payload[0]
+    if kind == "words":
+        _, words, n_rows, n_cols = payload
+        return BitMatrix(words, n_rows, n_cols)
+    if kind == "shm":
+        from .perf.shm import attach_bitmatrix
+
+        return attach_bitmatrix(payload[1])
+    raise ValueError(f"unknown job payload kind {kind!r}")
+
+
 def _job(args) -> ReorderSummary:
-    index, words, n_rows, n_cols, pattern_tuple, kwargs, want_trace, fault = args
+    index, payload, pattern_tuple, kwargs, want_trace, fault = args
     if fault == "exit":
         # Injected hard crash: the worker dies, breaking the pool so the
         # parent's resubmission path runs.  Never taken outside inject().
         os._exit(13)
     if fault == "raise":
         raise RuntimeError(f"injected worker fault on job {index}")
-    bm = BitMatrix(words, n_rows, n_cols)
+    bm = _materialize(payload)
     pattern = VNMPattern(*pattern_tuple)
     record = None
     if want_trace:
@@ -123,11 +178,36 @@ def _job(args) -> ReorderSummary:
     )
 
 
+def _job_chunk(jobs: list) -> list:
+    """Run a chunk of jobs in one worker round-trip.
+
+    Per-job outcomes are ``("ok", summary)`` or ``("err", repr)`` so one
+    soft failure never voids its chunk-mates; an ``"exit"`` fault still
+    kills the whole worker (the parent resubmits the lost chunk).
+    """
+    out = []
+    for job in jobs:
+        try:
+            out.append(("ok", _job(job)))
+        except Exception as exc:  # noqa: BLE001 - marker crosses the pickle boundary
+            out.append(("err", f"{exc!r}"))
+    return out
+
+
+def _default_chunk_size(n_jobs: int, workers: int) -> int:
+    # ~4 chunks per worker balances round-trip amortization against
+    # stragglers; capped so one chunk never hoards a giant batch.
+    return max(1, min(16, math.ceil(n_jobs / (workers * 4))))
+
+
 def reorder_many(
     matrices: list[BitMatrix],
     pattern: VNMPattern,
     *,
     n_workers: int | None = None,
+    pool=None,
+    use_shared_memory: bool | None = None,
+    chunk_size: int | None = None,
     return_exceptions: bool = False,
     max_pool_restarts: int = 2,
     **reorder_kwargs,
@@ -137,24 +217,34 @@ def reorder_many(
     Results come back in input order.  ``n_workers=1`` (or a single-item
     batch) runs inline — no pool overhead, easier debugging.
 
+    ``pool`` accepts a persistent :class:`repro.perf.pool.WorkerPool`; the
+    pool is *borrowed* (its workers stay warm for the next batch) and its
+    size wins over ``n_workers``.  Without one, an ephemeral pool is built
+    and torn down around the call — the pre-``repro.perf`` behaviour.
+
+    ``use_shared_memory`` (default: on whenever jobs go to worker
+    processes) publishes the packed words through one shared-memory
+    segment so workers attach zero-copy views instead of unpickling
+    copies; when the platform cannot provide shared memory the call falls
+    back to pickled payloads with a log line, and the segment is always
+    disposed — normal completion, job fault, or broken pool — before this
+    function returns.  ``chunk_size`` groups jobs per submission to
+    amortize executor round-trips (default: auto).
+
     A job that raises is re-raised as ``WorkerCrashError`` with the batch
     index attached; with ``return_exceptions=True`` the error object is
     returned at the job's position instead, so the rest of the batch
-    survives.  When a worker process dies (``BrokenProcessPool``), the lost
-    jobs are resubmitted to a fresh pool up to ``max_pool_restarts`` times.
+    survives.  When a worker process dies (``BrokenProcessPool``), the
+    pool is restarted and the lost jobs resubmitted up to
+    ``max_pool_restarts`` times.
     """
     from .pipeline import faults  # lazy: pipeline imports us
 
     want_trace = obs_trace.tracing_enabled()
-    jobs = [
-        (
-            i, bm.words, bm.n_rows, bm.n_cols,
-            (pattern.v, pattern.n, pattern.m, pattern.k), reorder_kwargs,
-            want_trace, faults.worker_directive(i),
-        )
-        for i, bm in enumerate(matrices)
-    ]
-    workers = default_workers() if n_workers is None else n_workers
+    if pool is not None:
+        workers = pool.n_workers
+    else:
+        workers = default_workers() if n_workers is None else n_workers
 
     def _merge_traces(results: list) -> list:
         """Graft worker span records into the caller's live trace, in order."""
@@ -163,7 +253,18 @@ def reorder_many(
                 obs_trace.adopt(res.trace)
         return results
 
-    if workers <= 1 or len(jobs) <= 1:
+    def _make_job(i: int, payload) -> tuple:
+        return (
+            i, payload, (pattern.v, pattern.n, pattern.m, pattern.k),
+            reorder_kwargs, want_trace, faults.worker_directive(i),
+        )
+
+    inline = (pool is None and workers <= 1) or len(matrices) <= 1
+    if inline:
+        jobs = [
+            _make_job(i, ("words", bm.words, bm.n_rows, bm.n_cols))
+            for i, bm in enumerate(matrices)
+        ]
         with obs_trace.span("parallel.reorder_many", jobs=len(jobs), workers=1):
             results = []
             for job in jobs:
@@ -180,35 +281,76 @@ def reorder_many(
                     results.append(failure)
             return _merge_traces(results)
 
-    with obs_trace.span("parallel.reorder_many", jobs=len(jobs), workers=workers):
-        results: list = [None] * len(jobs)
-        pending = list(range(len(jobs)))
-        restarts = 0
-        while pending:
-            lost: list[int] = []
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {pool.submit(_job, jobs[i]): i for i in pending}
-                for fut, i in futures.items():
+    from .perf.pool import WorkerPool
+    from .perf.shm import SharedMatrixBatch
+
+    shared = None
+    if use_shared_memory is None or use_shared_memory:
+        try:
+            shared = SharedMatrixBatch.pack(matrices)
+        except (OSError, ValueError, faults.InjectedFault) as exc:
+            logger.warning(
+                "shared-memory unavailable (%s); falling back to pickled "
+                "job payloads", exc,
+            )
+    jobs = [
+        _make_job(
+            i,
+            ("shm", shared.handles[i]) if shared is not None
+            else ("words", bm.words, bm.n_rows, bm.n_cols),
+        )
+        for i, bm in enumerate(matrices)
+    ]
+    chunk = chunk_size or _default_chunk_size(len(jobs), workers)
+
+    owns_pool = pool is None
+    if owns_pool:
+        pool = WorkerPool(workers)
+    try:
+        with obs_trace.span(
+            "parallel.reorder_many", jobs=len(jobs), workers=workers,
+            shared_memory=shared is not None, chunk_size=chunk,
+        ):
+            results: list = [None] * len(jobs)
+            pending = list(range(len(jobs)))
+            restarts = 0
+            while pending:
+                lost: list[int] = []
+                futures = {}
+                for at in range(0, len(pending), chunk):
+                    indices = pending[at:at + chunk]
+                    futures[pool.submit(_job_chunk, [jobs[i] for i in indices])] = indices
+                for fut, indices in futures.items():
                     try:
-                        results[i] = fut.result()
+                        outcomes = fut.result()
                     except BrokenProcessPool:
-                        lost.append(i)
-                    except Exception as exc:
-                        failure = _crash_error(i, exc)
-                        if not return_exceptions:
-                            raise failure from exc
-                        results[i] = failure
-            if not lost:
-                break
-            restarts += 1
-            if restarts > max_pool_restarts:
-                raise _crash_error(lost[0], BrokenProcessPool(
-                    f"worker pool broke {restarts} time(s); "
-                    f"{len(lost)} job(s) could not be completed"
-                ))
-            # Resubmit the lost jobs to a fresh pool, stripping any injected
-            # fault directive so the retry runs clean.
-            for i in lost:
-                jobs[i] = jobs[i][:-1] + (None,)
-            pending = lost
-        return _merge_traces(results)
+                        lost.extend(indices)
+                        continue
+                    for i, outcome in zip(indices, outcomes):
+                        if outcome[0] == "ok":
+                            results[i] = outcome[1]
+                        else:
+                            failure = _crash_error(i, outcome[1])
+                            if not return_exceptions:
+                                raise failure
+                            results[i] = failure
+                if not lost:
+                    break
+                restarts += 1
+                if restarts > max_pool_restarts:
+                    raise _crash_error(lost[0], BrokenProcessPool(
+                        f"worker pool broke {restarts} time(s); "
+                        f"{len(lost)} job(s) could not be completed"
+                    ))
+                pool.restart()
+                # Resubmit the lost jobs, stripping any injected fault
+                # directive so the retry runs clean.
+                for i in sorted(lost):
+                    jobs[i] = jobs[i][:-1] + (None,)
+                pending = sorted(lost)
+            return _merge_traces(results)
+    finally:
+        if shared is not None:
+            shared.dispose()
+        if owns_pool:
+            pool.close()

@@ -1,0 +1,33 @@
+"""repro.perf — the hot-path performance layer.
+
+Three pieces, each consumed by the existing stack rather than replacing it:
+
+* :mod:`repro.perf.shm` — zero-copy shared-memory transport for batch
+  reordering: workers attach read-only views of the packed ``uint64``
+  words instead of receiving pickled copies
+  (:class:`SharedMatrixBatch`, used by :func:`repro.parallel.reorder_many`);
+* :mod:`repro.perf.pool` — :class:`WorkerPool`, a persistent, restartable
+  process pool with an explicit lifecycle, reused across
+  ``reorder_many`` / ``preprocess_many`` calls (CLI ``--pool``);
+* :mod:`repro.perf.batching` — :class:`MicroBatcher` + :class:`BatchPolicy`,
+  the bounded coalescing queue behind
+  :meth:`repro.pipeline.serving.ServingSession.submit`.
+
+See ``docs/performance.md`` for lifecycle rules, platform caveats and the
+scaling benchmark (`benchmarks/bench_parallel_scaling.py`).
+"""
+
+from .batching import BatchPolicy, MicroBatcher
+from .pool import PoolStats, WorkerPool
+from .shm import MatrixHandle, SharedMatrixBatch, attach_bitmatrix, live_segments
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "PoolStats",
+    "WorkerPool",
+    "MatrixHandle",
+    "SharedMatrixBatch",
+    "attach_bitmatrix",
+    "live_segments",
+]

@@ -1,0 +1,115 @@
+"""A persistent, reusable process pool with an explicit lifecycle.
+
+``reorder_many`` used to build a fresh ``ProcessPoolExecutor`` per call and
+tear it down on exit — for a serving deployment that preprocesses batch
+after batch (paper §4.4, "reorder once, serve many"), the spawn cost is
+pure overhead paid every time.  :class:`WorkerPool` keeps the workers warm
+across calls:
+
+    with WorkerPool(4) as pool:
+        pool.warm()                      # optional: pre-spawn the workers
+        for batch in batches:
+            reorder_many(batch, pattern, pool=pool)
+
+The pool is lazy (no processes until the first submission), restartable
+(``restart()`` swaps in a fresh executor after a ``BrokenProcessPool`` —
+the resubmission machinery in ``reorder_many`` drives this), and owns an
+explicit ``close()``/context-manager lifecycle so tests and CLIs never
+leak worker processes.  :attr:`stats` counts spawns/jobs/restarts for the
+observability layer and the scaling benchmark.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass
+
+__all__ = ["PoolStats", "WorkerPool"]
+
+logger = logging.getLogger("repro.perf.pool")
+
+
+@dataclass
+class PoolStats:
+    """Lifecycle accounting for one :class:`WorkerPool`."""
+
+    spawns: int = 0
+    restarts: int = 0
+    jobs: int = 0
+
+
+def _noop() -> None:
+    """Submitted by :meth:`WorkerPool.warm` to force worker spawn."""
+
+
+class WorkerPool:
+    """Lazily-spawned, restartable, explicitly-closed process pool."""
+
+    def __init__(self, n_workers: int | None = None, *, mp_context=None):
+        from ..parallel import default_workers  # lazy: parallel imports us
+
+        self.n_workers = default_workers() if n_workers is None else max(1, n_workers)
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        self.stats = PoolStats()
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether an executor currently exists (workers may be spawned)."""
+        return self._executor is not None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=self._mp_context
+            )
+            self.stats.spawns += 1
+        return self._executor
+
+    def warm(self) -> None:
+        """Pre-spawn every worker so the first batch pays no startup cost."""
+        pool = self._ensure()
+        wait([pool.submit(_noop) for _ in range(self.n_workers)])
+
+    def submit(self, fn, /, *args, **kwargs):
+        """Submit one job; spawns the executor on first use."""
+        self.stats.jobs += 1
+        return self._ensure().submit(fn, *args, **kwargs)
+
+    def restart(self) -> None:
+        """Replace a broken executor with a fresh one (same size).
+
+        The old executor is shut down without waiting — its workers are
+        already dead or doomed; outstanding futures are cancelled.
+        """
+        old, self._executor = self._executor, None
+        self.stats.restarts += 1
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        logger.debug("worker pool restarted (restart #%d)", self.stats.restarts)
+
+    def close(self) -> None:
+        """Shut the workers down and refuse further submissions; idempotent."""
+        self._closed = True
+        old, self._executor = self._executor, None
+        if old is not None:
+            old.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("warm" if self.alive else "cold")
+        return (
+            f"WorkerPool(n_workers={self.n_workers}, {state}, "
+            f"jobs={self.stats.jobs}, restarts={self.stats.restarts})"
+        )

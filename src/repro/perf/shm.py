@@ -1,0 +1,239 @@
+"""Zero-copy shared-memory transport for packed BitMatrix batches.
+
+``reorder_many`` historically pickled every packed ``uint64`` word array
+into its job tuple — a full copy per job through the executor's pipe, paid
+again on every pool restart.  For the collection-scale batches (Tables 7/8)
+of small-to-medium matrices, that serialization dominates wall-clock.
+
+:class:`SharedMatrixBatch` packs the whole batch's word arrays into **one**
+``multiprocessing.shared_memory`` segment; jobs then carry a tiny
+``(segment, offset, shape)`` handle and workers attach a read-only NumPy
+view straight onto the mapped words — no copies in either direction.  The
+reordering stages never mutate their input words (they build permuted
+copies), so a read-only view is sufficient and enforced.
+
+Lifecycle rules, in order of importance:
+
+* the **creating process owns the segment** — :meth:`SharedMatrixBatch.
+  dispose` (or the context manager) both closes and unlinks it, and
+  :func:`repro.parallel.reorder_many` calls it from a ``finally`` so the
+  segment dies on normal completion, on a raised job fault, and on a
+  ``BrokenProcessPool`` alike;
+* workers attach **untracked** (``track=False`` on 3.13+; on older
+  versions the attach-side register dedupes into the inherited tracker's
+  per-name set, so the creator's single unlink still clears it) — see
+  :func:`_attach_untracked`;
+* attached segments are cached per worker process (small LRU) because a
+  warm :class:`~repro.perf.pool.WorkerPool` serves many batches — a stale
+  cache entry for an unlinked segment only holds a private mapping and is
+  evicted by the cap.
+
+Platforms without a usable shared-memory mount (``/dev/shm``) surface as
+``OSError`` at :meth:`pack` time; callers fall back to pickled payloads
+(see ``reorder_many``).  :func:`repro.pipeline.faults.maybe_fail_shm` can
+inject that failure deterministically.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.bitmatrix import BitMatrix
+
+__all__ = [
+    "MatrixHandle",
+    "SharedMatrixBatch",
+    "attach_bitmatrix",
+    "live_segments",
+    "detach_all",
+]
+
+logger = logging.getLogger("repro.perf.shm")
+
+_WORD_BYTES = 8
+
+# Segments created (and not yet unlinked) by *this* process, for tests and
+# leak auditing: reorder_many must leave this empty on every exit path.
+_LIVE: dict[str, "SharedMatrixBatch"] = {}
+
+# Worker-side cache of attached segments, keyed by name.  Bounded: a warm
+# pool outlives many batches and each batch uses a fresh segment.
+_ATTACH_CACHE_CAP = 8
+_ATTACHED: "OrderedDict[str, shared_memory.SharedMemory]" = OrderedDict()
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """Picklable pointer to one matrix inside a shared segment."""
+
+    segment: str
+    offset: int
+    n_rows: int
+    n_cols: int
+    n_words: int
+
+
+class SharedMatrixBatch:
+    """One shared-memory segment holding a batch of packed word arrays."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, handles: list[MatrixHandle]):
+        self._shm = shm
+        self.handles = handles
+        self.name = shm.name
+        self._disposed = False
+
+    @classmethod
+    def pack(cls, matrices: list[BitMatrix]) -> "SharedMatrixBatch":
+        """Copy every matrix's packed words into one fresh segment.
+
+        This is the single copy the shared-memory path pays (parent side,
+        sequential memcpy); workers attach views instead of unpickling.
+        Raises ``OSError`` when the platform cannot provide shared memory
+        and ``ValueError`` on an empty/degenerate batch.
+        """
+        from ..pipeline import faults  # lazy: pipeline imports repro.parallel
+
+        faults.maybe_fail_shm()
+        total = sum(bm.words.nbytes for bm in matrices)
+        if total <= 0:
+            raise ValueError("batch has no packed words to share")
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            handles: list[MatrixHandle] = []
+            offset = 0
+            for bm in matrices:
+                n_words = bm.words.shape[1]
+                dest = np.ndarray(
+                    bm.words.shape, dtype=np.uint64, buffer=shm.buf, offset=offset
+                )
+                dest[:] = bm.words
+                handles.append(MatrixHandle(
+                    segment=shm.name, offset=offset,
+                    n_rows=bm.n_rows, n_cols=bm.n_cols, n_words=n_words,
+                ))
+                offset += bm.words.nbytes
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        batch = cls(shm, handles)
+        _LIVE[shm.name] = batch
+        return batch
+
+    def view(self, index: int) -> BitMatrix:
+        """Read-only BitMatrix over matrix ``index`` (creator-side view)."""
+        h = self.handles[index]
+        return _view_from(self._shm, h)
+
+    def dispose(self) -> None:
+        """Close and unlink the segment; idempotent, never raises."""
+        if self._disposed:
+            return
+        self._disposed = True
+        _LIVE.pop(self.name, None)
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - platform quirk
+            logger.debug("closing shared segment %s failed", self.name, exc_info=True)
+        try:
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            logger.debug("unlinking shared segment %s failed", self.name, exc_info=True)
+
+    def __enter__(self) -> "SharedMatrixBatch":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.dispose()
+        return False
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMatrixBatch(name={self.name!r}, matrices={len(self.handles)}, "
+            f"bytes={self._shm.size})"
+        )
+
+
+def live_segments() -> list[str]:
+    """Names of segments this process created and has not yet unlinked."""
+    return sorted(_LIVE)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without adding a second tracking claim.
+
+    The creator owns unlinking.  On Python 3.13+ ``track=False`` keeps the
+    attachment invisible to the resource tracker.  Before that,
+    ``SharedMemory(create=False)`` *also* registers the name (cpython
+    #82300), which misfires both ways for a pool attachment: a worker
+    forked before the parent's tracker started gets its own tracker that
+    later warns about (and re-unlinks) a segment the creator already
+    disposed, while an explicit worker-side ``unregister`` on a *shared*
+    tracker steals the creator's claim instead.  The standard workaround
+    is to make ``register`` a no-op for the duration of the attach — the
+    attachment then exists in no tracker at all, matching ``track=False``.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track kwarg; see docstring
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *a, **kw: None
+        try:
+            return shared_memory.SharedMemory(name=name, create=False)
+        finally:
+            resource_tracker.register = original
+
+
+def _cached_segment(name: str) -> shared_memory.SharedMemory:
+    shm = _ATTACHED.get(name)
+    if shm is not None:
+        _ATTACHED.move_to_end(name)
+        return shm
+    shm = _attach_untracked(name)
+    _ATTACHED[name] = shm
+    while len(_ATTACHED) > _ATTACH_CACHE_CAP:
+        _, old = _ATTACHED.popitem(last=False)
+        try:
+            old.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+    return shm
+
+
+def _view_from(shm: shared_memory.SharedMemory, handle: MatrixHandle) -> BitMatrix:
+    words = np.ndarray(
+        (handle.n_rows, handle.n_words), dtype=np.uint64,
+        buffer=shm.buf, offset=handle.offset,
+    )
+    words.flags.writeable = False
+    return BitMatrix.from_buffer(words, handle.n_rows, handle.n_cols)
+
+
+def attach_bitmatrix(handle: MatrixHandle) -> BitMatrix:
+    """Worker-side zero-copy view of the matrix behind ``handle``.
+
+    The underlying segment stays attached in a per-process cache; the view
+    is read-only (the reordering stages build permuted copies, they never
+    write their input).
+    """
+    return _view_from(_cached_segment(handle.segment), handle)
+
+
+def detach_all() -> None:
+    """Drop every cached worker-side attachment (test hygiene)."""
+    while _ATTACHED:
+        _, shm = _ATTACHED.popitem(last=False)
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass

@@ -16,7 +16,15 @@ Three hook sites consult the active plan:
 * **worker jobs** — :func:`repro.parallel.reorder_many` asks
   :func:`worker_directive` per job; ``"raise"`` makes the job raise inside
   the worker, ``"exit"`` kills the worker process outright (breaking the
-  pool, which exercises resubmission).
+  pool, which exercises resubmission);
+* **shared-memory packing** — :class:`repro.perf.shm.SharedMatrixBatch.pack`
+  calls :func:`maybe_fail_shm`, so the pickled-payload fallback in
+  ``reorder_many`` runs deterministically (as it would on a platform
+  without ``/dev/shm``);
+* **coalesced batches** — :class:`repro.perf.batching.MicroBatcher` calls
+  :func:`maybe_fail_batch` before each stacked SpMM dispatch, exercising
+  the re-serve-individually fallback that keeps one bad batch from
+  failing every coalesced request.
 
 Every hook is a cheap no-op when no plan is active, and plans record what
 they injected in :attr:`FaultPlan.events` so tests can assert the faults
@@ -37,6 +45,8 @@ __all__ = [
     "active_plan",
     "maybe_fail_kernel",
     "maybe_corrupt_cache_file",
+    "maybe_fail_shm",
+    "maybe_fail_batch",
     "worker_directive",
 ]
 
@@ -49,8 +59,8 @@ class InjectedFault(RuntimeError):
 class FaultEvent:
     """Record of one injected fault: where, on what, and which action."""
 
-    site: str  # "kernel" | "cache" | "worker"
-    target: str  # backend name, cache key, or job index
+    site: str  # "kernel" | "cache" | "worker" | "shm" | "batch"
+    target: str  # backend name, cache key, job index, or fixed site tag
     action: str  # "raise" | "corrupt" | "exit"
 
 
@@ -64,11 +74,17 @@ class FaultPlan:
     scribbling the file on disk.  ``worker_crashes`` maps a batch index to
     ``"raise"`` or ``"exit"``; directives are consumed when the job is first
     built, so jobs resubmitted after a pool break run clean.
+    ``shm_failures`` fails that many upcoming shared-memory segment
+    creations (forcing ``reorder_many``'s pickled-payload fallback), and
+    ``batch_crashes`` crashes that many upcoming coalesced SpMM batches
+    before dispatch (forcing the per-request re-serve fallback).
     """
 
     kernel_failures: dict[str, int] = field(default_factory=dict)
     cache_corruptions: int = 0
     worker_crashes: dict[int, str] = field(default_factory=dict)
+    shm_failures: int = 0
+    batch_crashes: int = 0
     events: list[FaultEvent] = field(default_factory=list)
 
     def take_kernel_failure(self, backend: str) -> bool:
@@ -93,6 +109,20 @@ class FaultPlan:
                 raise ValueError(f"unknown worker fault action {action!r}")
             self.events.append(FaultEvent("worker", str(index), action))
         return action
+
+    def take_shm_failure(self) -> bool:
+        if self.shm_failures <= 0:
+            return False
+        self.shm_failures -= 1
+        self.events.append(FaultEvent("shm", "segment", "raise"))
+        return True
+
+    def take_batch_crash(self) -> bool:
+        if self.batch_crashes <= 0:
+            return False
+        self.batch_crashes -= 1
+        self.events.append(FaultEvent("batch", "spmm", "raise"))
+        return True
 
     def count(self, site: str) -> int:
         """How many faults fired at ``site`` so far."""
@@ -134,6 +164,18 @@ def maybe_corrupt_cache_file(key: str, path) -> bool:
     raw = path.read_bytes()
     path.write_bytes(b"\x00CORRUPT\x00" + raw[: max(0, len(raw) // 2)])
     return True
+
+
+def maybe_fail_shm() -> None:
+    plan = active_plan()
+    if plan is not None and plan.take_shm_failure():
+        raise InjectedFault("injected shared-memory segment creation failure")
+
+
+def maybe_fail_batch() -> None:
+    plan = active_plan()
+    if plan is not None and plan.take_batch_crash():
+        raise InjectedFault("injected coalesced-batch crash before dispatch")
 
 
 def worker_directive(index: int) -> str | None:

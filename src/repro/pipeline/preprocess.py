@@ -205,14 +205,19 @@ def preprocess_many(
     plan: PreprocessPlan | None = None,
     *,
     n_workers: int | None = None,
+    pool=None,
     cache=None,
 ) -> list[PreprocessResult]:
     """Batch preprocessing; the reorder stage fans out over a process pool.
 
     Cache hits are answered up front; only the misses go to the workers.
-    With ``plan.pattern=None`` the per-graph pattern search runs inline
-    (the search's candidate reorderings are themselves the expensive part
-    and differ per graph, so there is no shared batch to fan out).
+    ``pool`` accepts a persistent :class:`repro.perf.pool.WorkerPool` so
+    repeated batches reuse warm workers (and the batch's packed words
+    travel by shared memory — see :mod:`repro.parallel`); without one an
+    ephemeral pool is built per call.  With ``plan.pattern=None`` the
+    per-graph pattern search runs inline (the search's candidate
+    reorderings are themselves the expensive part and differ per graph, so
+    there is no shared batch to fan out).
     """
     plan = plan or PreprocessPlan()
     results: list[PreprocessResult | None] = [None] * len(graphs)
@@ -249,6 +254,7 @@ def preprocess_many(
                 summaries = reorder_many(
                     mats, plan.pattern,
                     n_workers=n_workers,
+                    pool=pool,
                     max_iter=plan.max_iter,
                     time_budget=plan.time_budget,
                     **plan.reorder_kwargs,

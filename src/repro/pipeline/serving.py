@@ -66,6 +66,11 @@ class ServingSession:
     model's :class:`~repro.sptc.costmodel.Calibration`.  Left ``None`` (the
     default) the request path carries no timing or bookkeeping at all —
     the observability-off hot path is the unchanged pre-obs code path.
+
+    ``batch_policy`` (a :class:`~repro.perf.batching.BatchPolicy`) tunes
+    the micro-batched :meth:`submit` path — flush deadline, batch shape
+    caps, queue capacity; ``None`` uses the defaults.  :meth:`spmm` is
+    unaffected either way.
     """
 
     def __init__(
@@ -78,6 +83,7 @@ class ServingSession:
         tag: str = "serving",
         retry_policy: RetryPolicy | None = None,
         metrics=None,
+        batch_policy=None,
     ):
         self.operand = operand
         self.permutation = permutation
@@ -89,6 +95,8 @@ class ServingSession:
         self.original_backend = registry.backend_for(operand).name
         self.n_requests = 0
         self.modelled_seconds = 0.0
+        self.batch_policy = batch_policy
+        self._batcher = None
         self._metrics = metrics
         if metrics is not None:
             self._m_latency = metrics.histogram(
@@ -137,8 +145,13 @@ class ServingSession:
         return self.resilience.degraded
 
     # -- the request cycle -------------------------------------------------
-    def spmm(self, x: np.ndarray) -> np.ndarray:
-        """One inference request: ``A @ x`` in the caller's vertex order."""
+    def _validate_features(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        """Coerce and validate one request's features; returns ``(x2d, squeeze)``.
+
+        Shared by the synchronous :meth:`spmm` path and the micro-batched
+        :meth:`submit` path — a malformed request always fails in the
+        caller, synchronously, and never reaches a coalesced batch.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim > 2:
             raise ValueError(
@@ -152,8 +165,11 @@ class ServingSession:
         if not np.isfinite(x).all():
             raise ValueError("features contain non-finite values (nan or inf)")
         squeeze = x.ndim == 1
-        if squeeze:
-            x = x[:, None]
+        return (x[:, None] if squeeze else x), squeeze
+
+    def spmm(self, x: np.ndarray) -> np.ndarray:
+        """One inference request: ``A @ x`` in the caller's vertex order."""
+        x, squeeze = self._validate_features(x)
         if self._metrics is None:
             # Observability off: the unchanged hot path — no clocks, no
             # bookkeeping beyond the request counter.
@@ -260,6 +276,48 @@ class ServingSession:
             )
             return out
         raise failure
+
+    # -- micro-batched serving (repro.perf.batching) -----------------------
+    @property
+    def batcher(self):
+        """The session's :class:`~repro.perf.batching.MicroBatcher`, built
+        lazily on first :meth:`submit` (``None`` until then)."""
+        return self._batcher
+
+    def submit(self, x: np.ndarray):
+        """Enqueue one request for micro-batched serving; returns a future.
+
+        Compatible requests (same operand/backend — i.e. everything on this
+        session) are coalesced into one stacked SpMM whose per-request
+        outputs are numerically identical to :meth:`spmm`; the batch goes
+        out when full or when the :class:`~repro.perf.batching.BatchPolicy`
+        flush deadline expires, so tail latency stays bounded.  Failures
+        arrive on the future; a crashed batch is re-served per request, so
+        only requests that fail on their own fail at all.
+        """
+        if self._batcher is None:
+            from ..perf.batching import MicroBatcher
+
+            self._batcher = MicroBatcher(self, self.batch_policy)
+        return self._batcher.submit(x)
+
+    def flush(self) -> None:
+        """Serve every queued :meth:`submit` request now (no-op if none)."""
+        if self._batcher is not None:
+            self._batcher.flush()
+
+    def close(self) -> None:
+        """Flush and shut down the micro-batcher; direct :meth:`spmm` still works."""
+        if self._batcher is not None:
+            self._batcher.close()
+            self._batcher = None
+
+    def __enter__(self) -> "ServingSession":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # Aggregator (and any dispatch_spmm caller) treats a session like an
     # operand, so mm/mm_t spell out the symmetric-operator convention.

@@ -1,0 +1,70 @@
+"""WorkerPool: lazy spawn, warm reuse, restart, and close semantics."""
+
+import os
+
+import pytest
+
+from repro.perf.pool import PoolStats, WorkerPool
+
+
+def _square(x):
+    return x * x
+
+
+def _pid():
+    return os.getpid()
+
+
+class TestLifecycle:
+    def test_lazy_until_first_submit(self):
+        with WorkerPool(2) as pool:
+            assert not pool.alive
+            assert pool.submit(_square, 7).result() == 49
+            assert pool.alive
+        assert not pool.alive
+
+    def test_warm_prespawns(self):
+        with WorkerPool(2) as pool:
+            pool.warm()
+            assert pool.alive
+            assert pool.stats.spawns == 1
+
+    def test_reuse_across_submissions_is_one_spawn(self):
+        with WorkerPool(2) as pool:
+            results = [pool.submit(_square, i).result() for i in range(6)]
+            assert results == [i * i for i in range(6)]
+            assert pool.stats == PoolStats(spawns=1, restarts=0, jobs=6)
+
+    def test_jobs_run_in_child_processes(self):
+        with WorkerPool(1) as pool:
+            assert pool.submit(_pid).result() != os.getpid()
+
+    def test_close_is_idempotent_and_final(self):
+        pool = WorkerPool(1)
+        pool.submit(_square, 2).result()
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(_square, 3)
+
+    def test_restart_spawns_fresh_executor(self):
+        with WorkerPool(1) as pool:
+            first = pool.submit(_pid).result()
+            pool.restart()
+            assert not pool.alive
+            second = pool.submit(_pid).result()
+            assert first != second
+            assert pool.stats.restarts == 1
+            assert pool.stats.spawns == 2
+
+    def test_default_size_comes_from_default_workers(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert WorkerPool().n_workers == 3
+
+    def test_repr_reflects_state(self):
+        pool = WorkerPool(2)
+        assert "cold" in repr(pool)
+        pool.submit(_square, 1).result()
+        assert "warm" in repr(pool)
+        pool.close()
+        assert "closed" in repr(pool)

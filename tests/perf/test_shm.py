@@ -1,0 +1,101 @@
+"""SharedMatrixBatch: zero-copy views, ownership, and cleanup guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.core import BitMatrix, VNMPattern, reorder
+from repro.perf.shm import (
+    SharedMatrixBatch,
+    attach_bitmatrix,
+    detach_all,
+    live_segments,
+)
+
+PATTERN = VNMPattern(1, 2, 4)
+
+
+def batch(count=3, n=48, seed=0):
+    out = []
+    for i in range(count):
+        rng = np.random.default_rng(seed + i)
+        a = rng.random((n, n)) < 0.06
+        a = (a | a.T).astype(np.uint8)
+        np.fill_diagonal(a, 0)
+        out.append(BitMatrix.from_dense(a))
+    return out
+
+
+class TestPackAndView:
+    def test_views_are_byte_identical(self):
+        mats = batch()
+        with SharedMatrixBatch.pack(mats) as shared:
+            for i, bm in enumerate(mats):
+                view = shared.view(i)
+                assert view.shape == bm.shape
+                assert np.array_equal(view.words, bm.words)
+
+    def test_views_are_read_only(self):
+        mats = batch(1)
+        with SharedMatrixBatch.pack(mats) as shared:
+            view = shared.view(0)
+            assert not view.words.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                view.set(0, 1, 1)
+
+    def test_reorder_on_view_matches_owned_copy(self):
+        mats = batch(1)
+        direct = reorder(mats[0], PATTERN)
+        with SharedMatrixBatch.pack(mats) as shared:
+            shared_res = reorder(shared.view(0), PATTERN)
+        assert np.array_equal(direct.permutation.order, shared_res.permutation.order)
+        assert direct.final_invalid_vectors == shared_res.final_invalid_vectors
+
+    def test_handles_are_picklable_and_attachable(self):
+        import pickle
+
+        mats = batch(2)
+        with SharedMatrixBatch.pack(mats) as shared:
+            handle = pickle.loads(pickle.dumps(shared.handles[1]))
+            view = attach_bitmatrix(handle)
+            assert np.array_equal(view.words, mats[1].words)
+            detach_all()
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            SharedMatrixBatch.pack([])
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks(self):
+        with SharedMatrixBatch.pack(batch(1)) as shared:
+            assert shared.name in live_segments()
+        assert shared.name not in live_segments()
+        # Attaching a fresh view of an unlinked segment must fail.
+        with pytest.raises(FileNotFoundError):
+            attach_bitmatrix(shared.handles[0])
+        detach_all()
+
+    def test_dispose_is_idempotent(self):
+        shared = SharedMatrixBatch.pack(batch(1))
+        shared.dispose()
+        shared.dispose()
+        assert live_segments() == []
+
+    def test_unlink_on_exception_inside_context(self):
+        with pytest.raises(RuntimeError):
+            with SharedMatrixBatch.pack(batch(1)) as shared:
+                raise RuntimeError("boom")
+        assert shared.name not in live_segments()
+
+
+class TestBitMatrixFromBuffer:
+    def test_zero_copy_alias(self):
+        bm = batch(1)[0]
+        view = BitMatrix.from_buffer(bm.words, bm.n_rows, bm.n_cols)
+        assert view.words is bm.words
+        assert view.nnz() == bm.nnz()
+
+    def test_shape_validation_still_applies(self):
+        bm = batch(1)[0]
+        with pytest.raises(ValueError):
+            BitMatrix.from_buffer(bm.words, bm.n_rows + 1, bm.n_cols)

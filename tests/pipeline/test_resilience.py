@@ -360,6 +360,128 @@ class TestWorkerFaults:
         assert info.value.context["index"] == 1
 
 
+class TestSharedMemoryLifecycle:
+    """Acceptance: segments are unlinked on every exit path — normal
+    completion, a raised job fault, and a worker hard-crash alike."""
+
+    def test_unlinked_after_normal_completion(self):
+        from repro.perf import live_segments
+
+        reorder_many([make_bm(s) for s in range(4)], PATTERN, n_workers=2)
+        assert live_segments() == []
+
+    def test_unlinked_after_raise_fault(self):
+        from repro.perf import live_segments
+
+        with inject(FaultPlan(worker_crashes={1: "raise"})):
+            with pytest.raises(WorkerCrashError):
+                reorder_many([make_bm(s) for s in range(3)], PATTERN, n_workers=2)
+        assert live_segments() == []
+
+    def test_unlinked_after_worker_exit_crash(self):
+        from repro.perf import live_segments
+
+        mats = [make_bm(s) for s in range(3)]
+        clean = reorder_many(mats, PATTERN, n_workers=1)
+        with inject(FaultPlan(worker_crashes={0: "exit"})):
+            recovered = reorder_many(mats, PATTERN, n_workers=2)
+        assert live_segments() == []
+        for a, b in zip(clean, recovered):
+            assert np.array_equal(a.order, b.order)
+
+    def test_shm_failure_falls_back_to_pickled_payloads(self):
+        from repro.perf import live_segments
+
+        mats = [make_bm(s) for s in range(3)]
+        clean = reorder_many(mats, PATTERN, n_workers=1)
+        with inject(FaultPlan(shm_failures=1)) as plan:
+            fallback = reorder_many(mats, PATTERN, n_workers=2)
+        assert plan.count("shm") == 1
+        assert live_segments() == []
+        for a, b in zip(clean, fallback):
+            assert np.array_equal(a.order, b.order)
+
+    def test_worker_crash_with_persistent_pool(self):
+        from repro.perf import WorkerPool, live_segments
+
+        mats = [make_bm(s) for s in range(3)]
+        clean = reorder_many(mats, PATTERN, n_workers=1)
+        with WorkerPool(2) as pool:
+            with inject(FaultPlan(worker_crashes={0: "exit"})):
+                recovered = reorder_many(mats, PATTERN, pool=pool)
+            # The pool restarted in place and stays usable for the next batch.
+            assert pool.stats.restarts == 1
+            again = reorder_many(mats, PATTERN, pool=pool)
+        assert live_segments() == []
+        for a, b, c in zip(clean, recovered, again):
+            assert np.array_equal(a.order, b.order)
+            assert np.array_equal(a.order, c.order)
+
+    def test_preprocess_many_with_pool(self, cache):
+        from repro.perf import WorkerPool
+
+        graphs = [make_bm(s) for s in range(3)]
+        plan = PreprocessPlan(pattern=PATTERN)
+        direct = preprocess_many(graphs, plan, n_workers=1)
+        with WorkerPool(2) as pool:
+            pooled = preprocess_many(graphs, plan, pool=pool, cache=cache)
+        for a, b in zip(direct, pooled):
+            assert np.array_equal(a.permutation.order, b.permutation.order)
+
+
+class TestMicroBatchFaults:
+    """A crash during a coalesced batch fails only the affected requests."""
+
+    def test_batch_crash_falls_back_to_per_request(self):
+        bm, session = session_for(make_bm())
+        xs = [int_features(bm.n_rows, h=3, seed=s) for s in range(3)]
+        dense = bm.to_dense().astype(np.float64)
+        with inject(FaultPlan(batch_crashes=1)) as plan:
+            with session:
+                futures = [session.submit(x) for x in xs]
+                session.flush()
+        assert plan.count("batch") == 1
+        for x, fut in zip(xs, futures):
+            assert np.array_equal(fut.result(), dense @ x)
+
+    def test_partial_failure_affects_only_failing_request(self):
+        bm, session = session_for(make_bm())
+        xs = [int_features(bm.n_rows, h=3, seed=s) for s in range(3)]
+        dense = bm.to_dense().astype(np.float64)
+        # The stacked call crashes; during per-request fallback the first
+        # request exhausts the hybrid retry budget and then finds the whole
+        # ladder down, while the later requests see healed kernels.
+        fault_plan = FaultPlan(
+            batch_crashes=1,
+            kernel_failures={"hybrid": FAST.max_attempts,
+                             "bsr": 100, "csr": 100, "dense": 100},
+        )
+        with inject(fault_plan):
+            futures = [session.submit(x) for x in xs]
+            session.flush()
+        assert session.batcher.n_fallbacks == 1
+        with pytest.raises(BackendExecutionError):
+            futures[0].result()
+        for x, fut in zip(xs[1:], futures[1:]):
+            assert np.array_equal(fut.result(), dense @ x)
+        session.close()
+
+    def test_batched_serving_after_downgrade_stays_correct(self):
+        bm, session = session_for(make_bm())
+        x = int_features(bm.n_rows, h=4, seed=9)
+        dense = bm.to_dense().astype(np.float64)
+        with inject(FaultPlan(kernel_failures={"hybrid": 100})):
+            fut = session.submit(x)
+            session.flush()
+        assert session.degraded and session.backend_name == "bsr"
+        assert np.array_equal(fut.result(), dense @ x)
+        # Sticky downgrade: the next coalesced batch serves from the fallback.
+        fut2 = session.submit(x)
+        session.flush()
+        assert np.array_equal(fut2.result(), dense @ x)
+        session.close()
+
+
 class TestAcceptanceScenario:
     """ISSUE acceptance: corrupt cache entry + worker crash + kernel failure
     in one run, and the pipeline still answers bitwise-correct results with
