@@ -1,0 +1,198 @@
+"""SpMM execution-engine benchmark (CI ``perf-smoke`` job).
+
+Measures three kernel paths on the same compressed operands:
+
+* ``naive``   — the registry's legacy per-format kernels
+  (:func:`repro.pipeline.registry.dispatch_spmm`), gather + einsum;
+* ``planned`` — :func:`repro.perf.engine.execute`: a precompiled
+  :class:`~repro.perf.engine.ExecutionPlan` per operand (gather indices,
+  padding geometry and scratch built once, BLAS-friendly panel or chunked
+  gathered kernels);
+* ``tuned``   — the planned path after :func:`repro.perf.tuner.tune`
+  picked the fastest backend for the workload (decision cached through an
+  :class:`~repro.pipeline.cache.ArtifactCache`).
+
+Correctness gates every timing: features are integer-valued so all fp64
+partial sums are exact, and every mode must be **bitwise** identical to
+the dense reference — the benchmark fails hard otherwise.  In full mode
+(h >= 64) it also fails when ``planned`` is not at least
+``REPRO_ENGINE_MIN_SPEEDUP`` (default 1.3) x faster than ``naive`` on the
+serving-default hybrid backend; ``--quick`` runs a tiny smoke
+configuration and skips the speedup assertion (CI machines are too noisy
+for it).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_spmm_engine.py --json-out .
+
+writes ``BENCH_spmm_engine.json`` next to the other tracked
+``BENCH_*.json`` result files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import VNMPattern
+from repro.perf import engine, tuner
+from repro.pipeline import ArtifactCache, registry
+from repro.sptc import CSRMatrix, HybridVNM
+from repro.sptc.spmm import dense_spmm
+
+PATTERN = VNMPattern(1, 2, 4)
+BACKENDS = ("csr", "vnm", "hybrid")
+
+
+def make_operand(n: int, density: float, seed: int = 0) -> HybridVNM:
+    """A hybrid-compressed random operator (residual CSR catches overflow)."""
+    rng = np.random.default_rng(seed)
+    a = (rng.random((n, n)) < density).astype(np.float64)
+    a *= rng.integers(1, 8, size=(n, n))
+    return HybridVNM.compress_csr(CSRMatrix.from_dense(a), PATTERN)
+
+
+def timed_rounds(fn, rounds: int) -> list[float]:
+    fn()  # warm (plan build, scratch allocation, BLAS init)
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return times
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=1024, help="operator dimension")
+    parser.add_argument("--h", type=int, default=64,
+                        help="feature width (acceptance floor: 64)")
+    parser.add_argument("--density", type=float, default=0.05)
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timed repetitions per mode")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny smoke configuration; no speedup assertion")
+    parser.add_argument("--json-out", metavar="DIR", default=None,
+                        help="write BENCH_spmm_engine.json into DIR")
+    args = parser.parse_args()
+
+    if args.quick:
+        args.n, args.h, args.rounds = min(args.n, 192), min(args.h, 16), 2
+
+    min_speedup = float(os.environ.get("REPRO_ENGINE_MIN_SPEEDUP", "1.3"))
+    hybrid = make_operand(args.n, args.density)
+    dense = hybrid.decompress()
+    rng = np.random.default_rng(1)
+    b = rng.integers(0, 1 << 10, size=(args.n, args.h)).astype(np.float64)
+    reference = dense_spmm(dense, b)
+    print(f"n={args.n} h={args.h} density={args.density} rounds={args.rounds} "
+          f"pattern={PATTERN}")
+
+    ok = True
+    results: dict[str, dict] = {}
+    for name in BACKENDS:
+        try:
+            operand = hybrid if name == "hybrid" else registry.degrade(hybrid, name)
+        except Exception as exc:  # noqa: BLE001 - e.g. vnm on a non-conforming matrix
+            print(f"{name:<8} unavailable for this operand ({exc})")
+            results[name] = {"unavailable": str(exc)}
+            continue
+        naive = timed_rounds(lambda op=operand: registry.dispatch_spmm(op, b),
+                             args.rounds)
+        plan = engine.plan_for(operand)
+        planned = timed_rounds(lambda op=operand: engine.execute(op, b),
+                               args.rounds)
+        out_naive = registry.dispatch_spmm(operand, b)
+        out_planned = engine.execute(operand, b)
+        exact = bool(np.array_equal(out_naive, reference)
+                     and np.array_equal(out_planned, reference))
+        if not exact:
+            print(f"FAIL: {name} outputs differ from the dense reference")
+            ok = False
+        med_naive = statistics.median(naive)
+        med_planned = statistics.median(planned)
+        speedup = med_naive / med_planned if med_planned > 0 else float("inf")
+        results[name] = {
+            "seconds": {"naive": naive, "planned": planned},
+            "median_seconds": {"naive": med_naive, "planned": med_planned},
+            "speedup_planned_vs_naive": speedup,
+            "variant": plan.variant,
+            "bitwise_vs_dense": exact,
+        }
+        print(f"{name:<8} naive {med_naive * 1e3:8.3f} ms | planned "
+              f"{med_planned * 1e3:8.3f} ms ({plan.variant}) | "
+              f"{speedup:6.2f}x")
+
+    # Tuned path: the autotuner picks the fastest backend for this workload
+    # and the decision round-trips through a cache (second lookup is a hit).
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(tmp)
+        decision = tuner.tune(hybrid, args.h, cache=cache, repeats=args.rounds)
+        again = tuner.tune(hybrid, args.h, cache=cache, repeats=args.rounds)
+        if again.source != "cache" or again.backend != decision.backend:
+            print("FAIL: tuner decision did not round-trip through the cache")
+            ok = False
+        tuned_op = (hybrid if decision.backend == "hybrid"
+                    else registry.degrade(hybrid, decision.backend))
+        tuned = timed_rounds(lambda: engine.execute(tuned_op, b), args.rounds)
+        out_tuned = engine.execute(tuned_op, b)
+        if not np.array_equal(out_tuned, reference):
+            print("FAIL: tuned output differs from the dense reference")
+            ok = False
+    med_tuned = statistics.median(tuned)
+    med_naive_hybrid = results["hybrid"]["median_seconds"]["naive"]
+    tuned_speedup = med_naive_hybrid / med_tuned if med_tuned > 0 else float("inf")
+    results["tuned"] = {
+        "backend": decision.backend,
+        "dtype": decision.dtype,
+        "seconds": tuned,
+        "median_seconds": med_tuned,
+        "speedup_vs_naive_hybrid": tuned_speedup,
+        "cache_round_trip": again.source == "cache",
+    }
+    print(f"tuned    -> {decision.backend:<6} {med_tuned * 1e3:8.3f} ms "
+          f"({tuned_speedup:.2f}x vs naive hybrid; decision cached: "
+          f"{again.source == 'cache'})")
+
+    gate = results["hybrid"]["speedup_planned_vs_naive"]
+    print(f"planned vs naive (hybrid)    : {gate:8.2f}x "
+          f"(threshold {min_speedup:.2f}x, "
+          f"{'skipped' if args.quick else 'enforced'})")
+    if not args.quick:
+        if args.h < 64:
+            print(f"FAIL: full mode requires h >= 64 (got {args.h})")
+            ok = False
+        if gate < min_speedup:
+            print(f"FAIL: planned-path speedup {gate:.2f}x < {min_speedup:.2f}x "
+                  f"over the naive hybrid kernel")
+            ok = False
+    if ok:
+        print("OK: all kernel paths bitwise-match the dense reference")
+
+    if args.json_out:
+        payload = {
+            "benchmark": "spmm_engine",
+            "config": {"n": args.n, "h": args.h, "density": args.density,
+                       "rounds": args.rounds, "quick": args.quick,
+                       "pattern": str(PATTERN), "cpu_count": os.cpu_count()},
+            "backends": results,
+            "min_speedup_threshold": None if args.quick else min_speedup,
+            "passed": ok,
+        }
+        out_path = Path(args.json_out) / "BENCH_spmm_engine.json"
+        out_path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out_path}")
+
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ Usage::
     python -m repro serve INPUT.mtx --cache-dir DIR [--h 64] [--requests N]
                           [--micro-batch] [--max-retries N] [--deadline SECONDS]
                           [--metrics-file M.json] [--trace-file T.json]
+    python -m repro tune INPUT.mtx --cache-dir DIR [--h 64] [--repeats N]
+                          [--float32]
     python -m repro stats [--metrics-file M.json] [--cache-dir DIR]
     python -m repro doctor --cache-dir DIR
 
@@ -24,8 +26,12 @@ the run's span tree); ``serve`` answers SpMM requests from those artefacts
 (retrying/degrading per ``--max-retries`` / ``--deadline``,
 ``--micro-batch`` coalescing requests through the bounded queue) and
 verifies the output against the dense reference,
-optionally exporting metrics/trace files; ``stats`` pretty-prints a metrics
-export and/or cache-directory statistics; ``doctor`` fsck-checks a cache
+optionally exporting metrics/trace files; ``tune`` micro-benchmarks every
+backend kernel on the preprocessed operand and persists the winning
+(backend, dtype) decision in the cache — rerunning the same workload is a
+cache hit; ``stats`` pretty-prints a metrics
+export and/or cache-directory statistics (including persisted tuner
+decisions); ``doctor`` fsck-checks a cache
 directory, quarantining corrupt artefacts and cleaning half-written temp
 files.
 
@@ -255,6 +261,33 @@ def _cmd_serve(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_tune(args) -> int:
+    from .perf import tuner
+    from .pipeline import ArtifactCache, preprocess
+
+    graph = graph_from_mtx(args.input)
+    cache = ArtifactCache(args.cache_dir)
+    result = preprocess(graph, _build_plan(args), cache=cache)
+    logger.info(
+        f"{args.input}: {'loaded cached artefact' if result.cached else 'preprocessed'} "
+        f"(pattern {result.pattern}, backend {result.backend})"
+    )
+    decision = tuner.tune(
+        result.operand, args.h, cache=cache,
+        repeats=args.repeats, include_float32=args.float32,
+    )
+    origin = "cache hit" if decision.source == "cache" else "measured fresh"
+    logger.info(f"decision ({origin}): backend {decision.backend}, "
+                f"dtype {decision.dtype}, variant {decision.variant}, h={decision.h}")
+    for label, seconds in decision.timings:
+        logger.info(f"  {label:<12} {_fmt_seconds(seconds)}")
+    for name in decision.failed:
+        logger.info(f"  {name:<12} (unavailable for this operand)")
+    logger.info(f"persisted as {decision.key}.tune.json in {cache.cache_dir}; "
+                f"rerunning this tune is a cache hit")
+    return 0
+
+
 def _fmt_seconds(value: float) -> str:
     if value >= 1.0:
         return f"{value:.3f}s"
@@ -300,6 +333,14 @@ def _cmd_stats(args) -> int:
                     f"{total_bytes} bytes, {len(cache.quarantined())} quarantined")
         for p in artefacts:
             logger.info(f"  {p.stem}  {p.stat().st_size} bytes")
+        decisions = cache.decisions()
+        if decisions:
+            logger.info(f"tuner decisions: {len(decisions)}")
+            for key, payload in decisions:
+                logger.info(
+                    f"  {key}: backend {payload.get('backend')}, "
+                    f"dtype {payload.get('dtype')}, h={payload.get('h')}"
+                )
     return 0
 
 
@@ -394,6 +435,19 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--trace-file", default=None,
                     help="trace the run and write the span tree here as JSON")
     sv.set_defaults(fn=_cmd_serve)
+
+    tn = sub.add_parser("tune",
+                        help="micro-benchmark backend kernels and cache the winner")
+    tn.add_argument("input")
+    add_plan_args(tn)
+    tn.add_argument("--h", type=int, default=64,
+                    help="feature width to tune for (default 64)")
+    tn.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per candidate (min is kept; default 3)")
+    tn.add_argument("--float32", action="store_true",
+                    help="also try the fp32 compute path where the precision "
+                         "model admits it")
+    tn.set_defaults(fn=_cmd_tune)
 
     st = sub.add_parser("stats",
                         help="pretty-print a metrics export and/or cache statistics")

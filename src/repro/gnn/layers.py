@@ -38,9 +38,12 @@ class Aggregator:
     def _run(self, op, x: np.ndarray) -> np.ndarray:
         if self.device is not None:
             return self.device.spmm(op, x, tag=self.tag)
-        from ..pipeline.registry import dispatch_spmm
+        # The planned engine path: per-operand precompiled gather indices
+        # and scratch, falling back to naive dispatch for operands it
+        # cannot plan (including ServingSession, which plans internally).
+        from ..perf.engine import execute
 
-        return dispatch_spmm(op, x)
+        return execute(op, x)
 
     def mm(self, x: np.ndarray) -> np.ndarray:
         return self._run(self.operator, x)
@@ -95,6 +98,14 @@ class Aggregator:
             live = metrics()
             if live:
                 report["metrics"] = live
+        # Which engine kernel variant is serving the operator (a session's
+        # plan lives on its underlying operand).
+        from ..perf.engine import cached_plan
+
+        target = getattr(self.operator, "operand", self.operator)
+        plan = cached_plan(target) if target is not None else None
+        if plan is not None:
+            report["kernel_variant"] = plan.variant
         return report
 
 

@@ -1,6 +1,15 @@
 """repro.perf — the hot-path performance layer.
 
-Three pieces, each consumed by the existing stack rather than replacing it:
+Five pieces, each consumed by the existing stack rather than replacing it:
+
+* :mod:`repro.perf.engine` — precompiled SpMM :class:`ExecutionPlan`\\ s
+  (gather indices, padding geometry, scratch panels, opt-in fp32) behind
+  :func:`repro.perf.engine.execute`, the planned kernel path
+  :class:`~repro.pipeline.serving.ServingSession` and
+  :class:`~repro.gnn.layers.Aggregator` run on;
+* :mod:`repro.perf.tuner` — the cached kernel autotuner
+  (:func:`repro.perf.tuner.tune`, ``repro tune``) persisting
+  :class:`TunerDecision`\\ s content-addressed in the artefact cache;
 
 * :mod:`repro.perf.shm` — zero-copy shared-memory transport for batch
   reordering: workers attach read-only views of the packed ``uint64``
@@ -18,12 +27,19 @@ scaling benchmark (`benchmarks/bench_parallel_scaling.py`).
 """
 
 from .batching import BatchPolicy, MicroBatcher
+from .engine import ExecutionPlan, build_plan, plan_for
 from .pool import PoolStats, WorkerPool
 from .shm import MatrixHandle, SharedMatrixBatch, attach_bitmatrix, live_segments
+from .tuner import TunerDecision, tune
 
 __all__ = [
     "BatchPolicy",
     "MicroBatcher",
+    "ExecutionPlan",
+    "build_plan",
+    "plan_for",
+    "TunerDecision",
+    "tune",
     "PoolStats",
     "WorkerPool",
     "MatrixHandle",

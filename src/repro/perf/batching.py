@@ -160,13 +160,24 @@ class MicroBatcher:
         )
 
     # -- internals ---------------------------------------------------------
+    def _max_columns(self) -> int:
+        """The effective column cap: the policy's, tightened by a tuner
+        decision on the session — coalescing past ``max_batch_columns``
+        would leave the shape regime the autotuner measured."""
+        cap = self.policy.max_columns
+        tuned = getattr(self._session, "tuned", None)
+        if tuned is not None and getattr(tuned, "max_batch_columns", 0) > 0:
+            cap = min(cap, tuned.max_batch_columns)
+        return cap
+
     def _full_locked(self) -> bool:
         if len(self._pending) >= self.policy.max_requests:
             return True
         cols = 0
+        max_columns = self._max_columns()
         for item in self._pending:
             cols += item.x.shape[1]
-            if cols >= self.policy.max_columns:
+            if cols >= max_columns:
                 return True
         return False
 
@@ -174,9 +185,10 @@ class MicroBatcher:
         """Pop the next batch under the shape caps; leftovers stay queued."""
         batch: list[_Pending] = []
         cols = 0
+        max_columns = self._max_columns()
         while self._pending and len(batch) < self.policy.max_requests:
             nxt = self._pending[0]
-            if batch and cols + nxt.x.shape[1] > self.policy.max_columns:
+            if batch and cols + nxt.x.shape[1] > max_columns:
                 break
             batch.append(self._pending.popleft())
             cols += nxt.x.shape[1]

@@ -1,0 +1,281 @@
+"""Cached kernel autotuner: per-workload backend selection over plans.
+
+HC-SpMM's observation is that no single kernel wins every (matrix, feature
+width) workload — the remaining 1.5–2x after reordering lives in picking
+the right one.  :func:`tune` micro-benchmarks the registered backend
+variants (csr / nm / vnm / bsr / hybrid / dense crossover) on the *actual*
+operand: each candidate is rebuilt losslessly through
+:func:`repro.pipeline.registry.degrade`, given an
+:class:`~repro.perf.engine.ExecutionPlan`, warmed, and timed on a seeded
+random B of the requested feature width.  The winner — deterministic
+tie-break on ``(time, label)`` — becomes a :class:`TunerDecision`.
+
+Decisions are **content-addressed**: the cache key hashes the operand's
+numeric fingerprint, its shape/nnz profile, the feature width, the
+candidate set and the tuner version, and the decision persists as a
+``<key>.tune.json`` sidecar in the :class:`~repro.pipeline.cache.
+ArtifactCache`.  Re-tuning the same workload is a cache hit that returns
+the stored decision verbatim (``source="cache"``) — wall-clock noise never
+flips an already-made choice.  ``repro tune`` drives this from the CLI;
+:meth:`repro.pipeline.serving.ServingSession.tune` applies decisions to a
+live session (and its :class:`~repro.perf.batching.MicroBatcher` consults
+``max_batch_columns`` so coalescing stays inside the tuned regime).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import engine
+
+__all__ = ["TunerDecision", "tune", "decision_key", "operand_fingerprint", "DEFAULT_BACKENDS"]
+
+logger = logging.getLogger("repro.perf.tuner")
+
+# Candidate order is part of the cache key; keep it stable.
+DEFAULT_BACKENDS = ("csr", "nm", "vnm", "bsr", "hybrid", "dense")
+
+# Bump to invalidate persisted decisions when the engine's kernels change
+# enough that old winners are stale.
+_TUNER_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TunerDecision:
+    """The tuned kernel choice for one (operand, feature width) workload.
+
+    ``timings`` holds every measured candidate as ``(label, seconds)``
+    sorted fastest-first (labels are backend names, ``+fp32`` suffixed for
+    the float32 path); ``failed`` lists candidates that could not be built
+    for this operand.  ``max_batch_columns`` bounds how far a
+    :class:`~repro.perf.batching.MicroBatcher` may coalesce past the tuned
+    width before the measurement stops being representative.
+    ``source`` is ``"measured"`` for a fresh run, ``"cache"`` when the
+    decision was answered from a persisted sidecar.
+    """
+
+    backend: str
+    dtype: str
+    variant: str
+    h: int
+    key: str
+    timings: tuple[tuple[str, float], ...] = ()
+    failed: tuple[str, ...] = ()
+    max_batch_columns: int = 0
+    source: str = "measured"
+
+    @property
+    def label(self) -> str:
+        return self.backend + ("+fp32" if self.dtype == "float32" else "")
+
+    def to_dict(self) -> dict:
+        return {
+            "version": _TUNER_VERSION,
+            "backend": self.backend,
+            "dtype": self.dtype,
+            "variant": self.variant,
+            "h": self.h,
+            "key": self.key,
+            "timings": [[label, seconds] for label, seconds in self.timings],
+            "failed": list(self.failed),
+            "max_batch_columns": self.max_batch_columns,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, *, source: str = "cache") -> "TunerDecision":
+        return cls(
+            backend=payload["backend"],
+            dtype=payload.get("dtype", "float64"),
+            variant=payload.get("variant", "panel"),
+            h=int(payload["h"]),
+            key=payload["key"],
+            timings=tuple((str(l), float(s)) for l, s in payload.get("timings", ())),
+            failed=tuple(payload.get("failed", ())),
+            max_batch_columns=int(payload.get("max_batch_columns", 0)),
+            source=source,
+        )
+
+
+def _hash_arrays(digest, *arrays) -> None:
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+
+
+def operand_fingerprint(operand) -> str:
+    """Hex digest of the operand's exact numeric content and layout."""
+    digest = hashlib.sha256()
+    digest.update(type(operand).__name__.encode())
+    digest.update(str(tuple(operand.shape)).encode())
+    if isinstance(operand, np.ndarray):
+        _hash_arrays(digest, operand)
+    elif hasattr(operand, "main"):  # HybridVNM
+        digest.update(operand_fingerprint(operand.main).encode())
+        if operand.residual is not None:
+            digest.update(operand_fingerprint(operand.residual).encode())
+    elif hasattr(operand, "tile_ptr"):  # VNMCompressed
+        digest.update(str(operand.pattern).encode())
+        _hash_arrays(digest, operand.tile_ptr, operand.tile_seg,
+                     operand.col_ids, operand.values, operand.meta)
+    elif hasattr(operand, "meta"):  # NMCompressed
+        digest.update(str(operand.pattern).encode())
+        _hash_arrays(digest, operand.values, operand.meta)
+    elif hasattr(operand, "indptr"):  # CSRMatrix
+        _hash_arrays(digest, operand.indptr, operand.indices, operand.data)
+    elif hasattr(operand, "brow_ptr"):  # BSRMatrix
+        digest.update(str(operand.block).encode())
+        _hash_arrays(digest, operand.brow_ptr, operand.bcol_ind, operand.blocks)
+    else:
+        raise TypeError(f"cannot fingerprint operand type {type(operand).__name__}")
+    return digest.hexdigest()
+
+
+def _nnz_profile(operand) -> dict:
+    """Coarse nnz statistics — part of the key so near-identical graphs that
+    compress differently do not collide on shape alone."""
+    if isinstance(operand, np.ndarray):
+        nnz = int(np.count_nonzero(operand))
+    elif hasattr(operand, "nnz"):
+        nnz = int(operand.nnz)
+    elif hasattr(operand, "values"):
+        nnz = int(np.count_nonzero(operand.values))
+    elif hasattr(operand, "main"):
+        nnz = int(np.count_nonzero(operand.main.values)) + (
+            operand.residual.nnz if operand.residual is not None else 0
+        )
+    else:
+        nnz = -1
+    return {"nnz": nnz}
+
+
+def decision_key(operand, h: int, backends: tuple[str, ...], *,
+                 include_float32: bool = False) -> str:
+    """Content address of the decision :func:`tune` would produce."""
+    payload = {
+        "fingerprint": operand_fingerprint(operand),
+        "shape": list(operand.shape),
+        **_nnz_profile(operand),
+        "h": int(h),
+        "backends": list(backends),
+        "include_float32": bool(include_float32),
+        "tuner_version": _TUNER_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+def _counters():
+    from ..obs import metrics as obs_metrics
+
+    reg = obs_metrics.default_registry()
+    return (
+        reg.counter("tuner_decisions_total", help="fresh autotuner decisions measured"),
+        reg.counter("tuner_cache_hits_total", help="autotuner decisions answered from cache"),
+    )
+
+
+@dataclass
+class _Candidate:
+    label: str
+    operand: object
+    plan: engine.ExecutionPlan
+    dtype: str = "float64"
+    seconds: float = field(default=float("inf"))
+
+
+def _build_candidates(operand, backends, *, include_float32: bool) -> tuple[list, list]:
+    from ..pipeline import registry
+
+    current = registry.backend_for(operand).name
+    candidates: list[_Candidate] = []
+    failed: list[str] = []
+    for name in backends:
+        try:
+            op = operand if name == current else registry.degrade(operand, name)
+            plan = engine.plan_for(op) if op is operand else engine.build_plan(op)
+        except Exception as exc:  # noqa: BLE001 - a candidate that cannot build is skipped
+            logger.debug("tuner: candidate %r unavailable: %s", name, exc)
+            failed.append(name)
+            continue
+        candidates.append(_Candidate(name, op, plan))
+        if include_float32 and engine.fp32_within_bound(op, plan):
+            candidates.append(_Candidate(f"{name}+fp32", op, plan, dtype="float32"))
+    return candidates, failed
+
+
+def tune(
+    operand,
+    h: int = 64,
+    *,
+    cache=None,
+    backends: tuple[str, ...] | None = None,
+    repeats: int = 3,
+    seed: int = 0,
+    include_float32: bool = False,
+) -> TunerDecision:
+    """Pick the fastest (backend, dtype) for serving ``operand`` at width ``h``.
+
+    With a ``cache`` (an :class:`~repro.pipeline.cache.ArtifactCache`) the
+    persisted decision is consulted first and the fresh decision is stored
+    after measuring, so the same workload tunes once per cache directory.
+    """
+    backends = tuple(backends) if backends else DEFAULT_BACKENDS
+    fresh_counter, hit_counter = _counters()
+    key = decision_key(operand, h, backends, include_float32=include_float32)
+    if cache is not None:
+        stored = cache.load_decision(key)
+        if stored is not None:
+            hit_counter.inc()
+            return TunerDecision.from_dict(stored, source="cache")
+
+    candidates, failed = _build_candidates(operand, backends, include_float32=include_float32)
+    if not candidates:
+        raise ValueError(
+            f"no tuner candidate could be built for operand type "
+            f"{type(operand).__name__} (tried {', '.join(backends)})"
+        )
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((operand.shape[1], int(h)))
+    for cand in candidates:
+        dtype = np.float32 if cand.dtype == "float32" else None
+        cand.plan.execute(cand.operand, b, dtype=dtype)  # warm scratch
+        best = float("inf")
+        for _ in range(max(int(repeats), 1)):
+            t0 = time.perf_counter()
+            cand.plan.execute(cand.operand, b, dtype=dtype)
+            best = min(best, time.perf_counter() - t0)
+        cand.seconds = best
+
+    # Deterministic winner: fastest, then lexicographic label on exact ties.
+    ranked = sorted(candidates, key=lambda cand: (cand.seconds, cand.label))
+    winner = ranked[0]
+    decision = TunerDecision(
+        backend=winner.label.removesuffix("+fp32"),
+        dtype=winner.dtype,
+        variant=winner.plan.variant,
+        h=int(h),
+        key=key,
+        timings=tuple((cand.label, cand.seconds) for cand in ranked),
+        failed=tuple(failed),
+        # Coalesced batches beyond ~8x the tuned width leave the measured
+        # shape regime; MicroBatcher caps its column budget here.
+        max_batch_columns=int(h) * 8,
+        source="measured",
+    )
+    fresh_counter.inc()
+    if cache is not None:
+        cache.store_decision(key, decision.to_dict())
+    logger.info(
+        "tuner: %s wins at h=%d (%.3es); candidates: %s",
+        decision.label, decision.h, winner.seconds,
+        ", ".join(f"{label}={seconds:.2e}s" for label, seconds in decision.timings),
+    )
+    return decision

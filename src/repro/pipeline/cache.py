@@ -77,6 +77,12 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     quarantined: int = 0
+    # Sidecar accounting: execution-plan (<key>.plan.pkl) and autotuner
+    # decision (<key>.tune.json) lookups next to the artefacts.
+    plan_hits: int = 0
+    plan_misses: int = 0
+    decision_hits: int = 0
+    decision_misses: int = 0
 
 
 class ArtifactCache:
@@ -186,19 +192,104 @@ class ArtifactCache:
             self._m_store.observe(time.perf_counter() - t0)
         return path
 
+    # -- sidecars: execution plans and autotuner decisions -----------------
+    def plan_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.plan.pkl"
+
+    def decision_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.tune.json"
+
+    def _store_atomic(self, path: Path, payload: bytes) -> Path:
+        tmp = Path(f"{path}.tmp")
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def store_plan(self, key: str, plan) -> Path:
+        """Persist an execution plan next to its artefact (atomic write).
+
+        Plans drop their scratch buffers on pickling (see
+        :mod:`repro.perf.engine`), so the sidecar stays index-sized.
+        """
+        import pickle
+
+        return self._store_atomic(self.plan_path(key), pickle.dumps(plan))
+
+    def load_plan(self, key: str):
+        """The persisted plan for ``key``, or ``None``.
+
+        An unreadable plan sidecar is quarantined and answered as a miss —
+        the caller rebuilds the plan from the operand, so a damaged sidecar
+        never blocks serving.  The cache directory is trusted local state
+        (same trust level as the ``.npz`` artefacts it sits beside), which
+        is what makes pickle acceptable here.
+        """
+        import pickle
+
+        path = self.plan_path(key)
+        if not path.exists():
+            self.stats.plan_misses += 1
+            return None
+        try:
+            plan = pickle.loads(path.read_bytes())
+        except Exception:  # noqa: BLE001 - any unpickling damage is a miss
+            self._quarantine(path)
+            self.stats.plan_misses += 1
+            return None
+        self.stats.plan_hits += 1
+        return plan
+
+    def store_decision(self, key: str, decision: dict) -> Path:
+        """Persist one autotuner decision as ``<key>.tune.json`` (atomic)."""
+        payload = json.dumps(decision, sort_keys=True, indent=2).encode()
+        return self._store_atomic(self.decision_path(key), payload)
+
+    def load_decision(self, key: str) -> dict | None:
+        """The persisted tuner decision for ``key``, or ``None`` (miss)."""
+        path = self.decision_path(key)
+        if not path.exists():
+            self.stats.decision_misses += 1
+            return None
+        try:
+            decision = json.loads(path.read_text())
+        except (ValueError, OSError):
+            self._quarantine(path)
+            self.stats.decision_misses += 1
+            return None
+        self.stats.decision_hits += 1
+        return decision
+
+    def decisions(self) -> list[tuple[str, dict]]:
+        """Every readable persisted tuner decision as ``(key, payload)``."""
+        out = []
+        for path in sorted(self.cache_dir.glob("*.tune.json")):
+            try:
+                out.append((path.name.removesuffix(".tune.json"), json.loads(path.read_text())))
+            except (ValueError, OSError):
+                continue
+        return out
+
     def invalidate(self, key: str) -> bool:
-        """Drop one artefact; returns whether it existed."""
+        """Drop one artefact (and its sidecars); returns whether it existed."""
         path = self.path(key)
         existed = path.exists()
         path.unlink(missing_ok=True)
+        self.plan_path(key).unlink(missing_ok=True)
+        self.decision_path(key).unlink(missing_ok=True)
         return existed
 
     def clear(self) -> int:
-        """Drop every artefact; returns how many were removed."""
+        """Drop every artefact and sidecar; returns how many artefacts were removed."""
         removed = 0
         for path in self.cache_dir.glob("*.npz"):
             path.unlink(missing_ok=True)
             removed += 1
+        for pattern in ("*.plan.pkl", "*.tune.json"):
+            for path in self.cache_dir.glob(pattern):
+                path.unlink(missing_ok=True)
         return removed
 
     def fsck(self, *, quarantine: bool = True) -> dict:
@@ -209,10 +300,16 @@ class ArtifactCache:
         ``.tmp`` files from killed writers are removed.  Returns
         ``{"checked", "ok", "corrupt", "tmp_removed"}`` with key lists.
         """
-        report: dict = {"checked": 0, "ok": [], "corrupt": [], "tmp_removed": []}
-        for tmp in sorted(self.cache_dir.glob("*.npz.tmp")):
-            tmp.unlink(missing_ok=True)
-            report["tmp_removed"].append(tmp.name)
+        import pickle
+
+        report: dict = {
+            "checked": 0, "ok": [], "corrupt": [], "tmp_removed": [],
+            "plan_corrupt": [],
+        }
+        for pattern in ("*.npz.tmp", "*.plan.pkl.tmp", "*.tune.json.tmp"):
+            for tmp in sorted(self.cache_dir.glob(pattern)):
+                tmp.unlink(missing_ok=True)
+                report["tmp_removed"].append(tmp.name)
         for path in sorted(self.cache_dir.glob("*.npz")):
             key = path.stem
             report["checked"] += 1
@@ -224,4 +321,11 @@ class ArtifactCache:
                     self._quarantine(path)
             else:
                 report["ok"].append(key)
+        for path in sorted(self.cache_dir.glob("*.plan.pkl")):
+            try:
+                pickle.loads(path.read_bytes())
+            except Exception:  # noqa: BLE001 - any unpickling damage counts
+                report["plan_corrupt"].append(path.name.removesuffix(".plan.pkl"))
+                if quarantine:
+                    self._quarantine(path)
         return report

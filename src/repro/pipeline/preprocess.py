@@ -71,7 +71,13 @@ class PreprocessPlan:
 
 @dataclass
 class PreprocessResult:
-    """Everything serving needs: the operand, its basis, and provenance."""
+    """Everything serving needs: the operand, its basis, and provenance.
+
+    ``plan`` carries the operand's precompiled
+    :class:`~repro.perf.engine.ExecutionPlan` (built here, or loaded from
+    the artefact cache's ``<key>.plan.pkl`` sidecar) so serving starts
+    with warm gather indices; ``None`` when the backend is unplannable.
+    """
 
     pattern: VNMPattern
     permutation: Permutation
@@ -80,6 +86,7 @@ class PreprocessResult:
     cached: bool = False
     cache_key: str | None = None
     summary: dict = field(default_factory=dict)
+    plan: Any = None
 
     @property
     def improvement_rate(self) -> float:
@@ -110,6 +117,34 @@ def _operator_csr(graph: Graph | BitMatrix, perm: Permutation, plan: PreprocessP
         for i in range(reordered.n_rows):
             reordered.set(i, i, 1)
     return CSRMatrix.from_scipy(reordered.to_scipy())
+
+
+def _plan_operand(operand, key, cache, *, stored: bool):
+    """Build (or load) the operand's execution plan; persist it as a sidecar.
+
+    On a cache hit (``stored=True`` means the artefact was just written;
+    ``False`` means it was loaded) the ``<key>.plan.pkl`` sidecar is tried
+    first and adopted into the engine's per-operand cache — a stale or
+    mismatched sidecar falls back to a fresh build, which is then persisted
+    so the next load hits.  Unplannable operands return ``None``.
+    """
+    from ..perf import engine
+
+    if cache is not None and key is not None and not stored:
+        sidecar = cache.load_plan(key)
+        if sidecar is not None:
+            try:
+                engine.adopt_plan(operand, sidecar)
+                return sidecar
+            except (TypeError, ValueError):
+                pass  # geometry drifted from the artefact: rebuild below
+    try:
+        built = engine.plan_for(operand)
+    except TypeError:
+        return None
+    if cache is not None and key is not None:
+        cache.store_plan(key, built)
+    return built
 
 
 def _search_or_reorder(bm: BitMatrix, plan: PreprocessPlan):
@@ -178,6 +213,7 @@ def preprocess(
                 return PreprocessResult(
                     pattern=operand.pattern, permutation=perm, operand=operand,
                     backend=plan.backend, cached=True, cache_key=key,
+                    plan=_plan_operand(operand, key, cache, stored=False),
                 )
 
         pattern, perm, summary = _search_or_reorder(bm, plan)
@@ -197,6 +233,7 @@ def preprocess(
         return PreprocessResult(
             pattern=pattern, permutation=perm, operand=operand,
             backend=plan.backend, cached=False, cache_key=key, summary=summary,
+            plan=_plan_operand(operand, key, cache, stored=True),
         )
 
 
@@ -239,6 +276,7 @@ def preprocess_many(
                         results[i] = PreprocessResult(
                             pattern=operand.pattern, permutation=perm, operand=operand,
                             backend=plan.backend, cached=True, cache_key=key,
+                            plan=_plan_operand(operand, key, cache, stored=False),
                         )
                         continue
                 pending.append(i)
@@ -284,6 +322,7 @@ def preprocess_many(
                 results[i] = PreprocessResult(
                     pattern=plan.pattern, permutation=perm, operand=operand,
                     backend=plan.backend, cached=False, cache_key=keys[i],
+                    plan=_plan_operand(operand, keys[i], cache, stored=True),
                     summary={
                         "pattern": summ.pattern,
                         "iterations": summ.iterations,

@@ -130,22 +130,33 @@ def available_backends() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
-def run_kernel(backend: Backend, a: Any, b: np.ndarray) -> np.ndarray:
+def run_kernel(
+    backend: Backend,
+    a: Any,
+    b: np.ndarray,
+    *,
+    kernel: Callable[[Any, np.ndarray], np.ndarray] | None = None,
+) -> np.ndarray:
     """Execute ``backend``'s kernel, classing failures as
     :class:`BackendExecutionError`.
 
     This is the single choke point for kernel execution (both
     :func:`dispatch_spmm` and the emulated device route through it), so the
     fault-injection hook and the error taxonomy cover every SpMM call site.
+    ``kernel`` substitutes an alternative implementation for this one call —
+    :func:`repro.perf.engine.execute` passes its precompiled plan here, so
+    planned execution stays inside the same fault-injection and error-
+    wrapping envelope as the naive kernels.
     The ``serving`` pseudo-backend is exempt from wrapping: a
     :class:`~repro.pipeline.serving.ServingSession` runs its own retry /
     degradation cycle and already raises taxonomy (or validation) errors.
     """
     if backend.name == "serving":
         return backend.spmm(a, b)
+    fn = backend.spmm if kernel is None else kernel
     try:
         faults.maybe_fail_kernel(backend.name)
-        return backend.spmm(a, b)
+        return fn(a, b)
     except PipelineError:
         raise
     except Exception as exc:

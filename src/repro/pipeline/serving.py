@@ -29,6 +29,7 @@ import numpy as np
 from ..core.permutation import Permutation
 from ..obs import events as obs_events
 from ..obs import trace as obs_trace
+from ..perf import engine as perf_engine
 from ..sptc.costmodel import CostModel
 from . import registry
 from .resilience import (
@@ -71,6 +72,15 @@ class ServingSession:
     the micro-batched :meth:`submit` path — flush deadline, batch shape
     caps, queue capacity; ``None`` uses the defaults.  :meth:`spmm` is
     unaffected either way.
+
+    ``engine`` (default ``True``) routes kernels through
+    :func:`repro.perf.engine.execute` — precompiled execution plans with
+    reusable scratch — instead of the naive dispatch; results are
+    bit-identical.  ``precision="float32"`` opts into the engine's fp32
+    compute path, taken only when :func:`repro.perf.engine.
+    fp32_within_bound` admits the operand (otherwise the session stays on
+    float64 and logs a warning).  :meth:`tune` picks backend and dtype
+    empirically and records the decision on :attr:`tuned`.
     """
 
     def __init__(
@@ -84,6 +94,8 @@ class ServingSession:
         retry_policy: RetryPolicy | None = None,
         metrics=None,
         batch_policy=None,
+        engine: bool = True,
+        precision: str = "float64",
     ):
         self.operand = operand
         self.permutation = permutation
@@ -98,6 +110,14 @@ class ServingSession:
         self.batch_policy = batch_policy
         self._batcher = None
         self._metrics = metrics
+        self._engine = engine
+        self._dtype = None
+        self.tuned = None
+        if precision not in ("float64", "float32"):
+            raise ValueError(f"precision must be 'float64' or 'float32', got {precision!r}")
+        self.precision = "float64"
+        if precision == "float32":
+            self._enable_float32()
         if metrics is not None:
             self._m_latency = metrics.histogram(
                 "spmm_latency_seconds", help="end-to-end serve request latency"
@@ -127,7 +147,18 @@ class ServingSession:
 
     @classmethod
     def from_result(cls, result, **kwargs) -> "ServingSession":
-        """Open a session over a :class:`PreprocessResult`."""
+        """Open a session over a :class:`PreprocessResult`.
+
+        A plan attached by :func:`~repro.pipeline.preprocess.preprocess`
+        (built fresh or loaded from the artefact cache) is adopted into the
+        engine's plan cache, so the first request skips the plan build.
+        """
+        plan = getattr(result, "plan", None)
+        if plan is not None:
+            try:
+                perf_engine.adopt_plan(result.operand, plan)
+            except (TypeError, ValueError):
+                logger.debug("stale plan on preprocess result ignored", exc_info=True)
         return cls(result.operand, result.permutation, **kwargs)
 
     # -- properties --------------------------------------------------------
@@ -195,12 +226,34 @@ class ServingSession:
             out = restored
         return out
 
+    def _enable_float32(self) -> None:
+        """Turn on the engine's fp32 compute path if the precision model
+        admits it for this operand; otherwise stay on float64 (logged)."""
+        try:
+            ok = perf_engine.fp32_within_bound(self.operand)
+        except TypeError:
+            ok = False  # unplannable operand: no fp32 path to enable
+        if ok:
+            self._dtype = np.float32
+            self.precision = "float32"
+        else:
+            logger.warning(
+                "float32 serving requested but the operand exceeds the "
+                "fp32 row-scaled error bound (or has no plan); staying on float64"
+            )
+
+    def _kernel(self, operand, x: np.ndarray) -> np.ndarray:
+        """One kernel launch: planned engine path, or naive dispatch."""
+        if self._engine:
+            return perf_engine.execute(operand, x, dtype=self._dtype)
+        return registry.dispatch_spmm(operand, x)
+
     def _execute(self, operand, x: np.ndarray) -> np.ndarray:
         """One kernel attempt on ``operand`` (device clock or local model)."""
         if self.device is not None:
             return self.device.spmm(operand, x, tag=self.tag)
         if self._metrics is None:
-            out = registry.dispatch_spmm(operand, x)
+            out = self._kernel(operand, x)
             self.modelled_seconds += registry.model_spmm_time(
                 self.cost_model, operand, x.shape[1]
             )
@@ -208,7 +261,7 @@ class ServingSession:
         # Metrics on: measure the kernel and feed the cost model's
         # calibration so predicted-vs-measured residuals stay observable.
         t0 = time.perf_counter()
-        out = registry.dispatch_spmm(operand, x)
+        out = self._kernel(operand, x)
         measured = time.perf_counter() - t0
         predicted = registry.model_spmm_time(self.cost_model, operand, x.shape[1])
         self.modelled_seconds += predicted
@@ -318,6 +371,47 @@ class ServingSession:
     def __exit__(self, *exc) -> bool:
         self.close()
         return False
+
+    # -- autotuning (repro.perf.tuner) -------------------------------------
+    def tune(self, h: int = 64, *, cache=None, backends=None, repeats: int = 3,
+             seed: int = 0, include_float32: bool = False):
+        """Tune this session's kernel for feature width ``h`` and apply it.
+
+        Runs (or loads, when ``cache`` already holds the decision for this
+        operand/width) the :func:`repro.perf.tuner.tune` micro-benchmark
+        and applies the winning backend/dtype via :meth:`apply_decision`.
+        Returns the :class:`~repro.perf.tuner.TunerDecision`.
+        """
+        from ..perf import tuner as perf_tuner
+
+        decision = perf_tuner.tune(
+            self.operand, h, cache=cache, backends=backends,
+            repeats=repeats, seed=seed, include_float32=include_float32,
+        )
+        self.apply_decision(decision)
+        return decision
+
+    def apply_decision(self, decision) -> None:
+        """Switch to a tuner decision's backend and dtype (exact rebuild).
+
+        The operand swap goes through :func:`repro.pipeline.registry.
+        degrade` — densify + recompress — so the numeric content is
+        unchanged; only the kernel serving it is.  The decision stays on
+        :attr:`tuned` for the micro-batcher to consult.
+        """
+        if decision.backend != self.backend_name:
+            self.operand = registry.degrade(self.operand, decision.backend)
+        self._dtype = np.float32 if decision.dtype == "float32" else None
+        self.precision = decision.dtype
+        self.tuned = decision
+        obs_events.emit(
+            "serve.tuned", backend=decision.backend, dtype=decision.dtype,
+            h=decision.h, source=decision.source,
+        )
+        logger.info(
+            "session tuned to backend %r (dtype=%s, h=%d, %s)",
+            decision.backend, decision.dtype, decision.h, decision.source,
+        )
 
     # Aggregator (and any dispatch_spmm caller) treats a session like an
     # operand, so mm/mm_t spell out the symmetric-operator convention.

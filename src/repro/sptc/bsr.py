@@ -20,7 +20,9 @@ __all__ = ["BSRMatrix"]
 class BSRMatrix:
     """A square block-sparse matrix with ``block × block`` dense blocks."""
 
-    __slots__ = ("block", "brow_ptr", "bcol_ind", "blocks", "shape")
+    # __weakref__ lets the execution-plan cache (repro.perf.engine) key
+    # plans by operand identity with weakref-finalize eviction.
+    __slots__ = ("block", "brow_ptr", "bcol_ind", "blocks", "shape", "__weakref__")
 
     def __init__(
         self,

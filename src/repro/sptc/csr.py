@@ -16,7 +16,9 @@ __all__ = ["CSRMatrix"]
 class CSRMatrix:
     """A float CSR matrix with int64 index arrays."""
 
-    __slots__ = ("indptr", "indices", "data", "shape", "_dense_cache")
+    # __weakref__ lets the execution-plan cache (repro.perf.engine) key
+    # plans by operand identity with weakref-finalize eviction.
+    __slots__ = ("indptr", "indices", "data", "shape", "_dense_cache", "__weakref__")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray, data: np.ndarray, shape: tuple[int, int]):
         self.indptr = np.asarray(indptr, dtype=np.int64)

@@ -73,16 +73,13 @@ class NMCompressed:
         return self.meta.shape[1] // self.pattern.n
 
     def decompress(self) -> np.ndarray:
-        n_rows = self.shape[0]
-        n, m = self.pattern.n, self.pattern.m
-        n_segs = self.n_segs
-        out = np.zeros((n_rows, n_segs * m), dtype=np.float64)
-        seg_base = np.repeat(np.arange(n_segs) * m, n)
-        cols = seg_base[None, :] + self.meta.astype(np.int64)
-        # Positions within a segment are pairwise distinct (see class docs),
-        # so one scatter reconstructs the matrix exactly.
-        np.put_along_axis(out, cols, self.values, axis=1)
-        return out[:, : self.shape[1]]
+        # The execution plan already holds the seg_base + meta gather
+        # indices; reuse them instead of recomputing the scatter geometry
+        # (the plan is cached per operand, so repeated decompression —
+        # degradation ladders, densify() — pays the index build once).
+        from ..perf.engine import plan_for
+
+        return plan_for(self).scatter_dense(self)[:, : self.shape[1]]
 
     def storage_bytes(self, value_bytes: int = 2, meta_bits: int = 2) -> int:
         """Modelled operand footprint (fp16 values + 2-bit metadata, as on A100)."""
@@ -100,8 +97,13 @@ class NMCompressed:
             raise ValueError("inner dimension mismatch")
         n, m = self.pattern.n, self.pattern.m
         n_segs = self.n_segs
-        padded_b = np.zeros((n_segs * m, b.shape[1]), dtype=np.float64)
-        padded_b[: b.shape[0]] = b
+        if b.shape[0] == n_segs * m:
+            # Aligned operand (n_cols % M == 0, the common post-reorder
+            # case): gather straight from B, no zero-padded copy.
+            padded_b = b
+        else:
+            padded_b = np.zeros((n_segs * m, b.shape[1]), dtype=np.float64)
+            padded_b[: b.shape[0]] = b
         seg_base = np.repeat(np.arange(n_segs) * m, n)
         gather = seg_base[None, :] + self.meta.astype(np.int64)  # (n_rows, n_segs*n)
         # out[r, :] = sum_j values[r, j] * B[gather[r, j], :]

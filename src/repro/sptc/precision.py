@@ -16,7 +16,44 @@ import numpy as np
 
 from .venom import VNMCompressed
 
-__all__ = ["quantize_fp16", "venom_spmm_fp16", "PrecisionReport", "precision_report"]
+__all__ = [
+    "quantize_fp16",
+    "venom_spmm_fp16",
+    "PrecisionReport",
+    "precision_report",
+    "row_scaled_error",
+    "FP32_ROW_SCALED_BOUND",
+]
+
+# Acceptance bound for the engine's opt-in fp32 compute path: fp32 keeps
+# ~7 decimal digits and the serving reductions span at most a few thousand
+# terms, so a healthy fp32 kernel stays orders of magnitude below 1e-4 of
+# each row's scale.  Exceeding it means the operand's dynamic range defeats
+# fp32 and the engine must stay on float64.
+FP32_ROW_SCALED_BOUND = 1e-4
+
+
+def _row_scaled(exact: np.ndarray, approx: np.ndarray) -> np.ndarray:
+    """Per-cell error normalized by each exact row's infinity norm.
+
+    Rows whose exact output is (near) zero carry no signal to lose and are
+    masked out rather than dividing by noise.
+    """
+    abs_err = np.abs(exact - approx)
+    row_scale = np.maximum(np.abs(exact).max(axis=1, keepdims=True), 1e-30)
+    scaled = abs_err / row_scale
+    live_rows = np.abs(exact).max(axis=1) > 1e-12
+    return scaled[live_rows] if live_rows.any() else np.zeros((1, 1))
+
+
+def row_scaled_error(exact: np.ndarray, approx: np.ndarray) -> float:
+    """Maximum row-scaled error of ``approx`` against ``exact``.
+
+    The scalar form of the :class:`PrecisionReport` normalization, used by
+    :func:`repro.perf.engine.fp32_within_bound` to gate the engine's fp32
+    compute path against :data:`FP32_ROW_SCALED_BOUND`.
+    """
+    return float(_row_scaled(np.asarray(exact), np.asarray(approx)).max(initial=0.0))
 
 
 def quantize_fp16(x: np.ndarray) -> np.ndarray:
@@ -31,8 +68,12 @@ def venom_spmm_fp16(a: VNMCompressed, b: np.ndarray) -> np.ndarray:
         raise ValueError("inner dimension mismatch")
     v = a.pattern.v
     h = b.shape[1]
-    padded_b = np.zeros((max(b.shape[0], int(a.col_ids.max(initial=0)) + 1), h))
-    padded_b[: b.shape[0]] = b
+    padded_rows = max(b.shape[0], int(a.col_ids.max(initial=0)) + 1)
+    if padded_rows == b.shape[0]:
+        padded_b = b  # aligned: no zero-padded copy (see VNMCompressed.spmm)
+    else:
+        padded_b = np.zeros((padded_rows, h))
+        padded_b[: b.shape[0]] = b
     if a.n_tiles == 0:
         return np.zeros((a.shape[0], h), dtype=np.float64)
     gather_cols = np.take_along_axis(
@@ -72,13 +113,9 @@ def precision_report(a: VNMCompressed, b: np.ndarray) -> PrecisionReport:
     """Compare the emulated fp16 datapath against exact fp64 SpMM."""
     exact = a.spmm(b)
     approx = venom_spmm_fp16(a, b)
-    abs_err = np.abs(exact - approx)
-    row_scale = np.maximum(np.abs(exact).max(axis=1, keepdims=True), 1e-30)
-    scaled = abs_err / row_scale
-    live_rows = np.abs(exact).max(axis=1) > 1e-12
-    scaled = scaled[live_rows] if live_rows.any() else np.zeros((1, 1))
+    scaled = _row_scaled(exact, approx)
     return PrecisionReport(
-        max_abs_error=float(abs_err.max(initial=0.0)),
+        max_abs_error=float(np.abs(exact - approx).max(initial=0.0)),
         max_row_scaled_error=float(scaled.max(initial=0.0)),
         mean_row_scaled_error=float(scaled.mean()) if scaled.size else 0.0,
     )

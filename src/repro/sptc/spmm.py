@@ -41,8 +41,17 @@ def dense_spmm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.asarray(a, dtype=np.float64) @ np.asarray(b, dtype=np.float64)
 
 
+# Resolved lazily on the first call (the registry imports this module, so a
+# top-level import would cycle), then cached so the per-request path pays a
+# module-global load instead of an import-machinery round trip.
+_dispatch_spmm = None
+
+
 def spmm(a, b: np.ndarray) -> np.ndarray:
     """Dispatch on operand type via the pipeline backend registry."""
-    from ..pipeline.registry import dispatch_spmm  # lazy: registry imports this module
+    global _dispatch_spmm
+    if _dispatch_spmm is None:
+        from ..pipeline.registry import dispatch_spmm
 
-    return dispatch_spmm(a, b)
+        _dispatch_spmm = dispatch_spmm
+    return _dispatch_spmm(a, b)

@@ -245,8 +245,14 @@ class VNMCompressed:
             raise ValueError("inner dimension mismatch")
         v = self.pattern.v
         h = b.shape[1]
-        padded_b = np.zeros((max(b.shape[0], int(self.col_ids.max(initial=0)) + 1), h), dtype=np.float64)
-        padded_b[: b.shape[0]] = b
+        padded_rows = max(b.shape[0], int(self.col_ids.max(initial=0)) + 1)
+        if padded_rows == b.shape[0]:
+            # Aligned operand (no col_id reaches into padding): gather
+            # straight from B, no zero-padded copy.
+            padded_b = b
+        else:
+            padded_b = np.zeros((padded_rows, h), dtype=np.float64)
+            padded_b[: b.shape[0]] = b
         if self.n_tiles == 0:
             return np.zeros((self.shape[0], h), dtype=np.float64)
         # B rows per value slot: (n_tiles, v, n)

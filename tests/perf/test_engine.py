@@ -1,0 +1,214 @@
+"""Execution engine: plan exactness, pickling, caching, fault composition.
+
+Feature matrices are integer-valued throughout the exactness tests, so all
+float64 partial sums are exact regardless of accumulation order and every
+kernel variant must match the dense reference **bitwise**, not just
+approximately.
+"""
+
+import gc
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import VNMPattern
+from repro.core.patterns import NMPattern
+from repro.perf import engine
+from repro.pipeline import faults, registry
+from repro.pipeline.resilience import BackendExecutionError
+from repro.sptc import CSRMatrix, HybridVNM
+from repro.sptc.bsr import BSRMatrix
+from repro.sptc.nm_format import NMCompressed
+from repro.sptc.sell import SellCSigma
+from repro.sptc.spmm import dense_spmm
+from repro.sptc.venom import VNMCompressed
+
+NM = NMPattern(2, 4)
+VNM = VNMPattern(1, 2, 4)
+
+
+def conforming(n_rows, n_cols, rng, n=2, m=4):
+    """An integer-valued matrix obeying the N:M row constraint exactly."""
+    a = np.zeros((n_rows, n_cols))
+    n_segs = (n_cols + m - 1) // m
+    for i in range(n_rows):
+        for s in range(n_segs):
+            width = min(m, n_cols - s * m)
+            k = min(n, width)
+            cols = rng.choice(width, size=k, replace=False) + s * m
+            a[i, cols] = rng.integers(1, 8, size=k)
+    return a
+
+
+def sprinkled(n_rows, n_cols, rng, density=0.15):
+    mask = rng.random((n_rows, n_cols)) < density
+    return mask * rng.integers(1, 8, size=(n_rows, n_cols)).astype(np.float64)
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(7)
+    a_conf = conforming(48, 48, rng)
+    a_any = sprinkled(48, 48, rng)
+    return {
+        "dense": np.asarray(a_any, dtype=np.float64),
+        "csr": CSRMatrix.from_dense(a_any),
+        "bsr": BSRMatrix.from_dense(a_any, 4),
+        "nm": NMCompressed.compress(a_conf, NM),
+        "vnm": VNMCompressed.compress(a_conf, VNM),
+        "hybrid": HybridVNM.compress(a_any, VNM),
+    }
+
+
+def dense_of(operand):
+    if isinstance(operand, np.ndarray):
+        return operand
+    if hasattr(operand, "decompress"):
+        return operand.decompress()
+    return operand.to_dense()
+
+
+BACKENDS = ("dense", "csr", "bsr", "nm", "vnm", "hybrid")
+VARIANTS = ("panel", "gathered")
+
+
+class TestExactness:
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_bitwise_vs_dense(self, operands, name, variant):
+        op = operands[name]
+        plan = engine.build_plan(op, variant=variant)
+        b = np.random.default_rng(3).integers(0, 1 << 10, size=(48, 16)).astype(np.float64)
+        reference = dense_spmm(dense_of(op), b)
+        assert np.array_equal(plan.execute(op, b), reference)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_float_features_allclose(self, operands, name):
+        op = operands[name]
+        b = np.random.default_rng(4).standard_normal((48, 8))
+        reference = dense_spmm(dense_of(op), b)
+        for variant in VARIANTS:
+            out = engine.build_plan(op, variant=variant).execute(op, b)
+            assert np.allclose(out, reference, rtol=1e-12, atol=1e-12)
+
+    @pytest.mark.parametrize("n_cols", [42, 100])
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_ragged_columns(self, n_cols, variant):
+        # n_cols % M != 0: padding geometry must not leak phantom columns.
+        rng = np.random.default_rng(n_cols)
+        op = NMCompressed.compress(conforming(20, n_cols, rng), NM)
+        b = rng.integers(0, 256, size=(n_cols, 6)).astype(np.float64)
+        reference = dense_spmm(op.decompress(), b)
+        out = engine.build_plan(op, variant=variant).execute(op, b)
+        assert np.array_equal(out, reference)
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_batched_wide_features(self, operands, name):
+        # Column widths past REPRO_ENGINE_COL_CHUNK exercise the chunked GEMM.
+        op = operands[name]
+        b = np.random.default_rng(5).integers(0, 64, size=(48, 24)).astype(np.float64)
+        reference = dense_spmm(dense_of(op), b)
+        plan = engine.build_plan(op, variant="panel")
+        assert np.array_equal(plan.execute(op, b), reference)
+
+    def test_shape_mismatch_raises(self, operands):
+        plan = engine.build_plan(operands["csr"])
+        with pytest.raises(ValueError):
+            plan.execute(operands["csr"], np.ones((7, 3)))
+
+
+class TestFloat32:
+    @pytest.mark.parametrize("name", BACKENDS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_fp32_close_to_fp64(self, operands, name, variant):
+        op = operands[name]
+        plan = engine.build_plan(op, variant=variant)
+        b = np.random.default_rng(6).standard_normal((48, 8))
+        exact = plan.execute(op, b)
+        approx = plan.execute(op, b, dtype=np.float32)
+        assert approx.dtype == np.float64  # cast back at the boundary
+        assert np.allclose(approx, exact, rtol=1e-4, atol=1e-3)
+
+    def test_fp32_within_bound_probe(self, operands):
+        assert isinstance(engine.fp32_within_bound(operands["csr"]), bool)
+
+
+class TestPickling:
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_roundtrip_drops_scratch(self, operands, name):
+        op = operands[name]
+        plan = engine.build_plan(op, variant="panel")
+        b = np.random.default_rng(8).integers(0, 64, size=(48, 4)).astype(np.float64)
+        before = plan.execute(op, b)  # builds scratch
+        state = plan.__getstate__()
+        assert not any(k.startswith("_") for k in state)
+        loaded = pickle.loads(pickle.dumps(plan))
+        assert np.array_equal(loaded.execute(op, b), before)
+
+
+class TestPlanCache:
+    def test_identity_hit(self, operands):
+        engine.clear_plan_cache()
+        op = operands["csr"]
+        assert engine.plan_for(op) is engine.plan_for(op)
+        assert engine.cached_plan(op) is not None
+
+    def test_weakref_eviction(self):
+        engine.clear_plan_cache()
+        op = CSRMatrix.from_dense(np.eye(8))
+        engine.plan_for(op)
+        assert engine.cached_plan(op) is not None
+        del op
+        gc.collect()
+        assert engine.clear_plan_cache() == 0
+
+    def test_dense_operands_skip_cache(self):
+        a = np.eye(6)
+        assert engine.plan_for(a) is not engine.plan_for(a)
+
+    def test_adopt_plan_validates(self, operands):
+        plan = engine.build_plan(operands["csr"])
+        with pytest.raises(ValueError):
+            engine.adopt_plan(CSRMatrix.from_dense(np.eye(5)), plan)  # shape
+        with pytest.raises(ValueError):
+            engine.adopt_plan(operands["nm"], plan)  # wrong plan type
+
+    def test_unknown_variant_rejected(self, operands):
+        with pytest.raises(ValueError):
+            engine.build_plan(operands["csr"], variant="warp")
+
+
+class TestExecuteIntegration:
+    def test_unplannable_falls_back_to_naive(self):
+        rng = np.random.default_rng(9)
+        a = sprinkled(24, 24, rng)
+        sell = SellCSigma.from_csr(CSRMatrix.from_dense(a), c=4, sigma=8)
+        b = rng.integers(0, 64, size=(24, 4)).astype(np.float64)
+        assert np.array_equal(engine.execute(sell, b), dense_spmm(a, b))
+
+    def test_engine_env_kill_switch(self, operands, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "0")
+        op = operands["csr"]
+        b = np.random.default_rng(10).integers(0, 64, size=(48, 4)).astype(np.float64)
+        assert np.array_equal(engine.execute(op, b), registry.dispatch_spmm(op, b))
+
+    def test_fault_injection_covers_planned_path(self, operands):
+        op = operands["nm"]
+        b = np.random.default_rng(11).integers(0, 64, size=(48, 4)).astype(np.float64)
+        with faults.inject(faults.FaultPlan(kernel_failures={"nm": 1})):
+            with pytest.raises(BackendExecutionError):
+                engine.execute(op, b)
+            # The injected failure is consumed; the next launch heals.
+            assert np.array_equal(engine.execute(op, b), dense_spmm(dense_of(op), b))
+
+    def test_counters_flow_to_default_registry(self, operands):
+        from repro.obs import metrics as obs_metrics
+
+        engine.clear_plan_cache()
+        op = CSRMatrix.from_dense(np.eye(12))
+        engine.plan_for(op)
+        engine.plan_for(op)
+        snapshot = obs_metrics.default_registry().snapshot()
+        assert "engine_plan_builds_total" in snapshot
+        assert "engine_plan_cache_hits_total" in snapshot

@@ -106,3 +106,56 @@ class TestErrors:
     def test_unknown_backend(self):
         with pytest.raises(KeyError):
             preprocess(make_graph(), PreprocessPlan(pattern=PATTERN, backend="nope"))
+
+
+class TestPlanPersistence:
+    """Execution plans ride the artefact cache as <key>.plan.pkl sidecars."""
+
+    def test_fresh_preprocess_builds_and_persists_plan(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        res = preprocess(make_graph(), PreprocessPlan(pattern=PATTERN), cache=cache)
+        assert res.plan is not None
+        assert res.plan.shape == res.operand.shape
+        assert cache.plan_path(res.cache_key).exists()
+
+    def test_cache_hit_loads_plan_sidecar(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        g = make_graph()
+        plan = PreprocessPlan(pattern=PATTERN)
+        preprocess(g, plan, cache=cache)
+        res = preprocess(g, plan, cache=cache)
+        assert res.cached
+        assert res.plan is not None
+        assert cache.stats.plan_hits == 1
+
+    def test_damaged_sidecar_rebuilds_plan(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        g = make_graph()
+        plan = PreprocessPlan(pattern=PATTERN)
+        first = preprocess(g, plan, cache=cache)
+        cache.plan_path(first.cache_key).write_bytes(b"garbage")
+        res = preprocess(g, plan, cache=cache)
+        assert res.cached and res.plan is not None
+        # The rebuilt plan was re-persisted over the quarantined sidecar.
+        assert cache.plan_path(first.cache_key).exists()
+
+    def test_no_cache_still_builds_plan(self):
+        res = preprocess(make_graph(), PreprocessPlan(pattern=PATTERN))
+        assert res.plan is not None
+
+    def test_from_result_adopts_plan(self, tmp_path):
+        from repro.perf import engine
+        from repro.pipeline import ServingSession
+
+        res = preprocess(make_graph(), PreprocessPlan(pattern=PATTERN))
+        session = ServingSession.from_result(res)
+        assert engine.cached_plan(session.operand) is res.plan
+
+    def test_preprocess_many_attaches_plans(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "c")
+        bms = make_bms(3)
+        plan = PreprocessPlan(pattern=PATTERN)
+        first = preprocess_many(bms, plan, n_workers=1, cache=cache)
+        again = preprocess_many(bms, plan, n_workers=1, cache=cache)
+        assert all(r.plan is not None for r in first)
+        assert all(r.cached and r.plan is not None for r in again)

@@ -247,7 +247,9 @@ class TestKernelRetryAndDegradation:
     def test_aggregator_surfaces_degradation(self):
         bm, session = session_for(make_bm())
         agg = session.aggregator()
-        assert agg.health() == {
+        baseline = agg.health()
+        assert baseline.pop("kernel_variant", None) in ("panel", "gathered", None)
+        assert baseline == {
             "backend": "hybrid", "degraded": False, "retries": 0, "downgrades": ()}
         with inject(FaultPlan(kernel_failures={"hybrid": 100})):
             agg.mm(int_features(bm.n_rows))

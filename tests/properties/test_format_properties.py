@@ -75,3 +75,54 @@ class TestSddmmProperties:
         csr = CSRMatrix.from_dense(a)
         out = csr_sddmm(csr, q, k)
         assert np.allclose(out.to_dense(), (q @ k.T) * a)
+
+
+@st.composite
+def nm_conforming_matrices(draw):
+    """Integer-valued matrices obeying an N:M row constraint, ragged widths
+    included (n_cols need not be a multiple of M)."""
+    n, m = draw(st.sampled_from([(1, 4), (2, 4), (2, 8), (4, 8)]))
+    n_rows = draw(st.integers(min_value=1, max_value=24))
+    n_cols = draw(st.integers(min_value=1, max_value=40))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    a = np.zeros((n_rows, n_cols))
+    n_segs = (n_cols + m - 1) // m
+    for i in range(n_rows):
+        for s in range(n_segs):
+            width = min(m, n_cols - s * m)
+            k = rng.integers(0, min(n, width) + 1)
+            if k:
+                cols = rng.choice(width, size=k, replace=False) + s * m
+                a[i, cols] = rng.integers(1, 8, size=k)
+    return a, n, m
+
+
+class TestNMRoundtripProperties:
+    """compress -> decompress is lossless; decompress reuses the engine's
+    precomputed plan gather, so this also pins the scatter geometry."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(nm_conforming_matrices())
+    def test_roundtrip_exact(self, case):
+        from repro.core.patterns import NMPattern
+        from repro.sptc.nm_format import NMCompressed
+
+        a, n, m = case
+        compressed = NMCompressed.compress(a, NMPattern(n, m))
+        assert np.array_equal(compressed.decompress(), a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(nm_conforming_matrices(), st.integers(1, 5))
+    def test_planned_spmm_matches_decompressed(self, case, h):
+        from repro.core.patterns import NMPattern
+        from repro.perf import engine
+        from repro.sptc.nm_format import NMCompressed
+
+        a, n, m = case
+        compressed = NMCompressed.compress(a, NMPattern(n, m))
+        b = np.random.default_rng(h).integers(0, 64, size=(a.shape[1], h)).astype(np.float64)
+        reference = a @ b
+        for variant in ("panel", "gathered"):
+            plan = engine.build_plan(compressed, variant=variant)
+            assert np.array_equal(plan.execute(compressed, b), reference)
