@@ -6,12 +6,12 @@ Usage::
     python -m repro survey   INPUT.mtx [--h 128]
     python -m repro collection CLASS [--count N] [--seed S]
     python -m repro preprocess INPUT.mtx [...] --cache-dir DIR [--workers N]
-                          [--pool] [--profile]
+                          [--pool] [--profile] [--segmented]
     python -m repro serve INPUT.mtx --cache-dir DIR [--h 64] [--requests N]
                           [--micro-batch] [--max-retries N] [--deadline SECONDS]
-                          [--metrics-file M.json] [--trace-file T.json]
+                          [--metrics-file M.json] [--trace-file T.json] [--segmented]
     python -m repro tune INPUT.mtx --cache-dir DIR [--h 64] [--repeats N]
-                          [--float32]
+                          [--float32] [--segmented]
     python -m repro stats [--metrics-file M.json] [--cache-dir DIR]
     python -m repro doctor --cache-dir DIR
 
@@ -29,9 +29,12 @@ verifies the output against the dense reference,
 optionally exporting metrics/trace files; ``tune`` micro-benchmarks every
 backend kernel on the preprocessed operand and persists the winning
 (backend, dtype) decision in the cache — rerunning the same workload is a
-cache hit; ``stats`` pretty-prints a metrics
+cache hit; ``--segmented`` (preprocess / serve / tune) compiles
+row-segmented execution plans — conforming row blocks on the SPTC path,
+the violating tail on a fallback sub-plan — and for ``tune`` adds those
+plans as candidates; ``stats`` pretty-prints a metrics
 export and/or cache-directory statistics (including persisted tuner
-decisions); ``doctor`` fsck-checks a cache
+decisions and segmented plan sidecars); ``doctor`` fsck-checks a cache
 directory, quarantining corrupt artefacts and cleaning half-written temp
 files.
 
@@ -132,6 +135,7 @@ def _build_plan(args):
         backend=args.backend,
         max_iter=args.max_iter,
         time_budget=args.time_budget,
+        segmented=getattr(args, "segmented", False),
     )
 
 
@@ -239,6 +243,14 @@ def _cmd_serve(args) -> int:
     logger.info(f"modelled per-request time {t_req * 1e6:.1f}us "
                 f"({t_csr / t_req:.2f}x vs CSR baseline); "
                 f"served {session.n_requests} request(s)")
+    segments = session.segment_summary()
+    if segments is not None:
+        coverage = ", ".join(
+            f"{name} {info['rows']} row(s) ({info['fraction']:.0%})"
+            for name, info in sorted(segments["row_coverage"].items())
+        )
+        logger.info(f"segmented plan: {segments['n_segments']} row block(s) "
+                    f"in {segments.get('n_groups', '?')} kernel group(s); {coverage}")
     stats = session.resilience
     if stats.retries or stats.downgrades or cache.stats.quarantined:
         logger.info(f"resilience: {stats.retries} retr(ies), "
@@ -275,10 +287,14 @@ def _cmd_tune(args) -> int:
     decision = tuner.tune(
         result.operand, args.h, cache=cache,
         repeats=args.repeats, include_float32=args.float32,
+        include_segmented=args.segmented,
     )
     origin = "cache hit" if decision.source == "cache" else "measured fresh"
     logger.info(f"decision ({origin}): backend {decision.backend}, "
                 f"dtype {decision.dtype}, variant {decision.variant}, h={decision.h}")
+    if decision.segments:
+        seg_text = ", ".join(f"{k}={v}" for k, v in sorted(decision.segments.items()))
+        logger.info(f"  segmented plan config: {seg_text}")
     for label, seconds in decision.timings:
         logger.info(f"  {label:<12} {_fmt_seconds(seconds)}")
     for name in decision.failed:
@@ -341,6 +357,26 @@ def _cmd_stats(args) -> int:
                     f"  {key}: backend {payload.get('backend')}, "
                     f"dtype {payload.get('dtype')}, h={payload.get('h')}"
                 )
+        plans = sorted(cache.cache_dir.glob("*.plan.pkl"))
+        segmented_lines = []
+        for path in plans:
+            key = path.name.removesuffix(".plan.pkl")
+            plan = cache.load_plan(key)
+            if plan is None or getattr(plan, "backend", None) != "segmented":
+                continue
+            summary = plan.summary()
+            coverage = ", ".join(
+                f"{name} {info['fraction']:.0%}"
+                for name, info in sorted(summary["row_coverage"].items())
+            )
+            segmented_lines.append(
+                f"  {key}: {summary['n_segments']} row block(s), {coverage}"
+            )
+        if plans:
+            logger.info(f"plan sidecars: {len(plans)} "
+                        f"({len(segmented_lines)} segmented)")
+            for line in segmented_lines:
+                logger.info(line)
     return 0
 
 
@@ -399,6 +435,11 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--cache-dir", default=".repro-cache")
         sp.add_argument("--max-iter", type=int, default=10)
         sp.add_argument("--time-budget", type=float, default=None)
+        sp.add_argument("--segmented", action="store_true",
+                        help="compile a row-segmented execution plan: "
+                             "conforming row blocks on the SPTC path, the "
+                             "violating tail on a fallback sub-plan "
+                             "(repro.perf.segment)")
 
     pp = sub.add_parser("preprocess",
                         help="offline pipeline: reorder + compress into the artifact cache")

@@ -106,6 +106,10 @@ class Aggregator:
         plan = cached_plan(target) if target is not None else None
         if plan is not None:
             report["kernel_variant"] = plan.variant
+            # A segmented plan serves different row blocks on different
+            # kernels; surface the block layout and per-backend coverage.
+            if getattr(plan, "backend", None) == "segmented":
+                report["segments"] = plan.summary()
         return report
 
 

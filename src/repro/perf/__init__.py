@@ -10,6 +10,10 @@ Five pieces, each consumed by the existing stack rather than replacing it:
 * :mod:`repro.perf.tuner` — the cached kernel autotuner
   (:func:`repro.perf.tuner.tune`, ``repro tune``) persisting
   :class:`TunerDecision`\\ s content-addressed in the artefact cache;
+* :mod:`repro.perf.segment` — per-row-block :class:`SegmentedPlan`\\ s:
+  a :class:`RowSegmenter` splits the row space by N:M conformance so
+  conforming blocks run the SPTC path and the sparse tail a fallback
+  sub-plan, each through its own ``run_kernel`` envelope;
 
 * :mod:`repro.perf.shm` — zero-copy shared-memory transport for batch
   reordering: workers attach read-only views of the packed ``uint64``
@@ -29,6 +33,14 @@ scaling benchmark (`benchmarks/bench_parallel_scaling.py`).
 from .batching import BatchPolicy, MicroBatcher
 from .engine import ExecutionPlan, build_plan, plan_for
 from .pool import PoolStats, WorkerPool
+from .segment import (
+    RowSegment,
+    RowSegmenter,
+    SegmentConfig,
+    SegmentSpec,
+    SegmentedPlan,
+    build_segmented_plan,
+)
 from .shm import MatrixHandle, SharedMatrixBatch, attach_bitmatrix, live_segments
 from .tuner import TunerDecision, tune
 
@@ -38,6 +50,12 @@ __all__ = [
     "ExecutionPlan",
     "build_plan",
     "plan_for",
+    "RowSegment",
+    "RowSegmenter",
+    "SegmentConfig",
+    "SegmentSpec",
+    "SegmentedPlan",
+    "build_segmented_plan",
     "TunerDecision",
     "tune",
     "PoolStats",

@@ -176,18 +176,35 @@ class ExecutionPlan:
             )
         return b
 
-    def _panel_execute(self, operand, b: np.ndarray, dtype) -> np.ndarray:
+    def _panel_execute(self, operand, b: np.ndarray, dtype,
+                       out: np.ndarray | None = None) -> np.ndarray:
         if dtype == np.float32:
             panel = self._dense_panel32(operand)
             b32 = b.astype(np.float32)
-            out = np.empty((self.shape[0], b.shape[1]), dtype=np.float32)
-            return _chunked_gemm(panel, b32, out).astype(np.float64)
+            out32 = np.empty((self.shape[0], b.shape[1]), dtype=np.float32)
+            return self._finish(_chunked_gemm(panel, b32, out32).astype(np.float64), out)
         panel = self._dense_panel(operand)
-        out = np.empty((self.shape[0], b.shape[1]), dtype=np.float64)
+        if out is None:
+            out = np.empty((self.shape[0], b.shape[1]), dtype=np.float64)
         return _chunked_gemm(panel, b, out)
 
-    def execute(self, operand, b: np.ndarray, *, dtype=None) -> np.ndarray:
-        """Run one SpMM through the precompiled access structure."""
+    @staticmethod
+    def _finish(result: np.ndarray, out: np.ndarray | None) -> np.ndarray:
+        """Deliver ``result`` into the caller's ``out`` buffer when given."""
+        if out is None:
+            return result
+        out[...] = result
+        return out
+
+    def execute(self, operand, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
+        """Run one SpMM through the precompiled access structure.
+
+        ``out`` (optional, float64, shape ``(n_rows, h)``) receives the
+        result in place — the GEMM variants write straight into it, which
+        lets :class:`~repro.perf.segment.SegmentedPlan` stitch sub-plan
+        outputs without a per-segment allocation.
+        """
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -236,10 +253,11 @@ class NMPlan(ExecutionPlan):
             self._v32 = v32
         return v32
 
-    def execute(self, operand: NMCompressed, b: np.ndarray, *, dtype=None) -> np.ndarray:
+    def execute(self, operand: NMCompressed, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
         b = self._check(operand, b)
         if self.variant == "panel":
-            return self._panel_execute(operand, b, dtype)
+            return self._panel_execute(operand, b, dtype, out)
         # Gathered: slot-chunked take + batched matmul; the (rows, chunk, h)
         # intermediate is bounded by the chunk, never the full slot axis.
         if self.aligned:
@@ -252,14 +270,14 @@ class NMPlan(ExecutionPlan):
         if fp32:
             bsrc = bsrc.astype(np.float32)
         n_rows, n_slots = self.gather.shape
-        out = np.zeros((n_rows, b.shape[1]), dtype=bsrc.dtype)
+        acc = np.zeros((n_rows, b.shape[1]), dtype=bsrc.dtype)
         # Bound the (rows, chunk, h) gather intermediate to ~8M elements.
         chunk = min(max((8 << 20) // max(n_rows * b.shape[1], 1), 1), _slot_chunk())
         for j0 in range(0, n_slots, chunk):
             j1 = min(j0 + chunk, n_slots)
             gb = bsrc[self.gather[:, j0:j1]]  # (rows, jc, h)
-            out += np.matmul(values[:, None, j0:j1], gb)[:, 0]
-        return out.astype(np.float64) if fp32 else out
+            acc += np.matmul(values[:, None, j0:j1], gb)[:, 0]
+        return self._finish(acc.astype(np.float64) if fp32 else acc, out)
 
 
 class VNMPlan(ExecutionPlan):
@@ -316,13 +334,14 @@ class VNMPlan(ExecutionPlan):
             self._v32 = v32
         return v32
 
-    def execute(self, operand: VNMCompressed, b: np.ndarray, *, dtype=None) -> np.ndarray:
+    def execute(self, operand: VNMCompressed, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
         b = self._check(operand, b)
         h = b.shape[1]
         if self.variant == "panel":
-            return self._panel_execute(operand, b, dtype)
+            return self._panel_execute(operand, b, dtype, out)
         if self.n_tiles == 0:
-            return np.zeros((self.shape[0], h), dtype=np.float64)
+            return self._finish(np.zeros((self.shape[0], h), dtype=np.float64), out)
         if self.aligned:
             bsrc = b
         else:
@@ -343,11 +362,11 @@ class VNMPlan(ExecutionPlan):
                 values[t0:t1].reshape(-1, 1, n), gb.reshape(-1, n, h),
                 out=contrib[t0:t1].reshape(-1, 1, h),
             )
-        out = np.zeros((self.n_tile_rows, v, h), dtype=contrib.dtype)
+        acc = np.zeros((self.n_tile_rows, v, h), dtype=contrib.dtype)
         if self.starts.size:
-            out[self.nonempty] = np.add.reduceat(contrib, self.starts, axis=0)
-        out = out.reshape(self.n_tile_rows * v, h)[: self.shape[0]]
-        return out.astype(np.float64) if fp32 else out
+            acc[self.nonempty] = np.add.reduceat(contrib, self.starts, axis=0)
+        acc = acc.reshape(self.n_tile_rows * v, h)[: self.shape[0]]
+        return self._finish(acc.astype(np.float64) if fp32 else acc, out)
 
 
 class HybridPlan(ExecutionPlan):
@@ -372,14 +391,15 @@ class HybridPlan(ExecutionPlan):
             panel = panel + operand.residual.to_dense()
         return panel
 
-    def execute(self, operand: HybridVNM, b: np.ndarray, *, dtype=None) -> np.ndarray:
+    def execute(self, operand: HybridVNM, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
         b = self._check(operand, b)
         if self.variant == "panel":
-            return self._panel_execute(operand, b, dtype)
-        out = self.main.execute(operand.main, b, dtype=dtype)
+            return self._panel_execute(operand, b, dtype, out)
+        res = self.main.execute(operand.main, b, dtype=dtype)
         if operand.residual is not None:
-            out = out + operand.residual.matmat(b)
-        return out
+            res = res + operand.residual.matmat(b)
+        return self._finish(res, out)
 
 
 class BSRPlan(ExecutionPlan):
@@ -400,10 +420,11 @@ class BSRPlan(ExecutionPlan):
     def _build_panel(self, operand: BSRMatrix) -> np.ndarray:
         return operand.to_dense()
 
-    def execute(self, operand: BSRMatrix, b: np.ndarray, *, dtype=None) -> np.ndarray:
+    def execute(self, operand: BSRMatrix, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
         b = self._check(operand, b)
         if self.variant == "panel":
-            return self._panel_execute(operand, b, dtype)
+            return self._panel_execute(operand, b, dtype, out)
         block, h = self.block, b.shape[1]
         if self.aligned:
             bsrc = b
@@ -420,12 +441,12 @@ class BSRPlan(ExecutionPlan):
             blocks = b32
             bsrc = bsrc.astype(np.float32)
         panels = bsrc.reshape(self.nbc, block, h)
-        out = np.zeros((self.nbr, block, h), dtype=bsrc.dtype)
+        acc = np.zeros((self.nbr, block, h), dtype=bsrc.dtype)
         if operand.n_blocks:
             contrib = np.matmul(blocks, panels[operand.bcol_ind])
-            out[self.nonempty] = np.add.reduceat(contrib, self.starts, axis=0)
-        out = out.reshape(self.nbr * block, h)[: self.shape[0]]
-        return out.astype(np.float64) if fp32 else out
+            acc[self.nonempty] = np.add.reduceat(contrib, self.starts, axis=0)
+        acc = acc.reshape(self.nbr * block, h)[: self.shape[0]]
+        return self._finish(acc.astype(np.float64) if fp32 else acc, out)
 
 
 class CSRPlan(ExecutionPlan):
@@ -448,10 +469,11 @@ class CSRPlan(ExecutionPlan):
     def _build_panel(self, operand: CSRMatrix) -> np.ndarray:
         return operand.to_dense()
 
-    def execute(self, operand: CSRMatrix, b: np.ndarray, *, dtype=None) -> np.ndarray:
+    def execute(self, operand: CSRMatrix, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
         b = self._check(operand, b)
         if self.variant == "panel":
-            return self._panel_execute(operand, b, dtype)
+            return self._panel_execute(operand, b, dtype, out)
         fp32 = dtype == np.float32
         data = operand.data
         if fp32:
@@ -462,10 +484,10 @@ class CSRPlan(ExecutionPlan):
             data = d32
             b = b.astype(np.float32)
         prod = data[:, None] * b[operand.indices]
-        out = np.zeros((self.shape[0], b.shape[1]), dtype=b.dtype)
+        acc = np.zeros((self.shape[0], b.shape[1]), dtype=b.dtype)
         if self.starts.size:
-            out[self.nonempty] = np.add.reduceat(prod, self.starts, axis=0)
-        return out.astype(np.float64) if fp32 else out
+            acc[self.nonempty] = np.add.reduceat(prod, self.starts, axis=0)
+        return self._finish(acc.astype(np.float64) if fp32 else acc, out)
 
 
 class DensePlan(ExecutionPlan):
@@ -479,9 +501,10 @@ class DensePlan(ExecutionPlan):
     def _build_panel(self, operand: np.ndarray) -> np.ndarray:
         return np.asarray(operand, dtype=np.float64)
 
-    def execute(self, operand: np.ndarray, b: np.ndarray, *, dtype=None) -> np.ndarray:
+    def execute(self, operand: np.ndarray, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
         b = self._check(operand, b)
-        return self._panel_execute(operand, b, dtype)
+        return self._panel_execute(operand, b, dtype, out)
 
 
 _PLAN_TYPES: tuple[tuple[type, type], ...] = (
@@ -499,15 +522,25 @@ def _default_variant(operand) -> str:
     return "panel" if dense_bytes <= panel_budget_bytes() else "gathered"
 
 
-def build_plan(operand, *, variant: str | None = None) -> ExecutionPlan:
+def build_plan(operand, *, variant: str | None = None, pattern=None,
+               segment_config=None) -> ExecutionPlan:
     """Build a fresh plan for ``operand``; ``TypeError`` when unplannable.
 
     ``variant`` forces ``"panel"`` or ``"gathered"``; by default the panel
     variant is chosen whenever the densified operand fits
-    ``REPRO_ENGINE_PANEL_BUDGET`` bytes.
+    ``REPRO_ENGINE_PANEL_BUDGET`` bytes.  ``variant="segmented"`` builds a
+    per-row-block :class:`~repro.perf.segment.SegmentedPlan` instead
+    (``pattern``/``segment_config`` parameterize the row segmenter and are
+    only meaningful there).
     """
     forced = os.environ.get("REPRO_ENGINE_VARIANT")
     variant = variant or forced or _default_variant(operand)
+    if variant == "segmented":
+        from .segment import build_segmented_plan
+
+        return build_segmented_plan(operand, pattern=pattern, config=segment_config)
+    if pattern is not None or segment_config is not None:
+        raise ValueError("pattern/segment_config require variant='segmented'")
     if variant not in ("panel", "gathered"):
         raise ValueError(f"unknown plan variant {variant!r}")
     for operand_type, plan_type in _PLAN_TYPES:
@@ -522,20 +555,23 @@ def build_plan(operand, *, variant: str | None = None) -> ExecutionPlan:
 _PLAN_CACHE: dict[int, ExecutionPlan] = {}
 
 
-def plan_for(operand, *, variant: str | None = None) -> ExecutionPlan:
+def plan_for(operand, *, variant: str | None = None, pattern=None,
+             segment_config=None) -> ExecutionPlan:
     """The cached plan for ``operand``, building (and caching) on first use."""
     builds, hits = _counters()
     if isinstance(operand, np.ndarray):
         # ndarrays don't support weak references; dense plans are cheap to
         # rebuild (the array itself *is* the panel), so skip the cache.
         builds.inc()
-        return build_plan(operand, variant=variant)
+        return build_plan(operand, variant=variant, pattern=pattern,
+                          segment_config=segment_config)
     oid = id(operand)
     plan = _PLAN_CACHE.get(oid)
     if plan is not None and (variant is None or plan.variant == variant):
         hits.inc()
         return plan
-    plan = build_plan(operand, variant=variant)
+    plan = build_plan(operand, variant=variant, pattern=pattern,
+                      segment_config=segment_config)
     builds.inc()
     _cache_plan(operand, plan)
     return plan
@@ -565,6 +601,19 @@ def adopt_plan(operand, plan: ExecutionPlan) -> ExecutionPlan:
         raise ValueError(
             f"plan shape {plan.shape} does not match operand shape {operand.shape}"
         )
+    if plan.backend == "segmented":
+        # Segmented plans serve any registered operand of their source
+        # backend (the sub-operands are rebuilt from it lazily).
+        from ..pipeline import registry
+
+        source = registry.backend_for(operand).name
+        if plan.spec.source_backend != source:
+            raise ValueError(
+                f"segmented plan built for backend {plan.spec.source_backend!r} "
+                f"cannot serve operand backend {source!r}"
+            )
+        _cache_plan(operand, plan)
+        return plan
     for operand_type, plan_type in _PLAN_TYPES:
         if isinstance(operand, operand_type):
             if not isinstance(plan, plan_type):

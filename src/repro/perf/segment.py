@@ -1,0 +1,574 @@
+"""Segmented execution plans: per-row-block dispatch with tail fallback.
+
+The monolithic :class:`~repro.perf.engine.ExecutionPlan` picks **one**
+format and variant for the whole operand, so a single M-segment violating
+the N:M constraint makes the entire ``vnm`` backend unavailable (the
+availability cliff in ``BENCH_spmm_engine.json``).  This module splits the
+row space instead, the HC-SpMM move of serving dense rows on tensor cores
+and the sparse tail on CUDA cores:
+
+* :class:`RowSegmenter` profiles per-tile-row N:M conformance (the shared
+  :mod:`repro.sptc.conformance` scan also used by the hybrid splitter) and
+  partitions the rows into contiguous blocks — conforming runs go to the
+  ``dense_backend`` (``vnm`` by default), everything else to the
+  ``tail_backend`` (``csr``);
+* :class:`SegmentedPlan` composes one sub-plan per block and stitches the
+  per-block SpMM outputs back in row order, bit-identical to the naive
+  kernels.  Each sub-plan call still routes through
+  :func:`repro.pipeline.registry.run_kernel`, so fault injection, the
+  ``BackendExecutionError`` taxonomy and the obs counters apply **per
+  segment** — and when one segment's backend fails, only that segment
+  walks its degradation ladder (sticky, like the serving session's, but
+  scoped to the rows that need it).
+
+Only the :class:`SegmentSpec` is pickled with the plan (a compact JSON-able
+description of the split); the per-segment sub-operands and sub-plans are
+scratch, rebuilt lazily from the operand on first execute after a cache
+load — the same contract as every other plan's panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.patterns import VNMPattern
+from ..sptc.conformance import conforming_tile_rows
+from ..sptc.csr import CSRMatrix
+from .engine import ExecutionPlan, build_plan, _cache_plan
+
+__all__ = [
+    "SegmentConfig",
+    "RowSegment",
+    "SegmentSpec",
+    "RowSegmenter",
+    "SegmentedPlan",
+    "build_segmented_plan",
+    "DEFAULT_SEGMENT_CONFIG",
+]
+
+# Row-count buckets for the engine_segment_rows histogram (powers of two).
+_ROW_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(21))
+
+
+def _seg_counters():
+    from ..obs import metrics as obs_metrics
+
+    reg = obs_metrics.default_registry()
+    return (
+        reg.counter("engine_segments_total", help="row segments built into plans"),
+        reg.histogram(
+            "engine_segment_rows", help="rows per built segment", buckets=_ROW_BUCKETS
+        ),
+    )
+
+
+def _variant_counter(backend: str):
+    from ..obs import metrics as obs_metrics
+
+    return obs_metrics.default_registry().counter(
+        "engine_segment_variant_total",
+        help="segments routed per backend variant",
+        backend=backend,
+    )
+
+
+def _downgrade_counter():
+    from ..obs import metrics as obs_metrics
+
+    return obs_metrics.default_registry().counter(
+        "engine_segment_downgrades_total", help="per-segment backend downgrades"
+    )
+
+
+@dataclass(frozen=True)
+class SegmentConfig:
+    """Tunable segmentation thresholds (the autotuner's candidate axes).
+
+    ``min_block_rows`` demotes conforming runs shorter than this to the
+    tail (per-segment dispatch overhead would beat the SPTC win);
+    ``max_blocks`` bounds the total segment count by demoting the smallest
+    conforming runs first.  ``variant`` forces every sub-plan's kernel
+    variant (``None`` = per-sub-plan default by panel budget).
+    """
+
+    min_block_rows: int = 1
+    max_blocks: int = 256
+    dense_backend: str = "vnm"
+    tail_backend: str = "csr"
+    variant: str | None = None
+    # Coalesce same-backend blocks into one pooled sub-plan per backend —
+    # one "kernel launch" over every conforming row-panel plus one over the
+    # whole tail (the HC-SpMM / SPTC tile-list shape), instead of a launch
+    # per block.  Dispatch is still decided per row-block.
+    coalesce: bool = True
+
+    def to_dict(self) -> dict:
+        return {
+            "min_block_rows": self.min_block_rows,
+            "max_blocks": self.max_blocks,
+            "dense_backend": self.dense_backend,
+            "tail_backend": self.tail_backend,
+            "variant": self.variant,
+            "coalesce": self.coalesce,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SegmentConfig":
+        return cls(
+            min_block_rows=int(d.get("min_block_rows", 1)),
+            max_blocks=int(d.get("max_blocks", 256)),
+            dense_backend=str(d.get("dense_backend", "vnm")),
+            tail_backend=str(d.get("tail_backend", "csr")),
+            variant=d.get("variant"),
+            coalesce=bool(d.get("coalesce", True)),
+        )
+
+
+DEFAULT_SEGMENT_CONFIG = SegmentConfig()
+
+
+@dataclass(frozen=True)
+class RowSegment:
+    """One contiguous row block ``[start, stop)`` and its serving backend."""
+
+    start: int
+    stop: int
+    backend: str
+    variant: str | None = None
+
+    @property
+    def rows(self) -> int:
+        return self.stop - self.start
+
+    def to_dict(self) -> dict:
+        d = {"start": self.start, "stop": self.stop, "backend": self.backend}
+        if self.variant is not None:
+            d["variant"] = self.variant
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RowSegment":
+        return cls(
+            start=int(d["start"]), stop=int(d["stop"]),
+            backend=str(d["backend"]), variant=d.get("variant"),
+        )
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """The persisted description of a segmented plan: shape, pattern, blocks.
+
+    JSON-able (``to_dict``/``from_dict``) so it can ride in ``.tune.json``
+    tuner decisions as well as pickled ``.plan.pkl`` sidecars.
+    ``source_backend`` records which registered backend's operand the plan
+    was built against (:func:`~repro.perf.engine.adopt_plan` checks it).
+    """
+
+    shape: tuple[int, int]
+    pattern: dict
+    source_backend: str
+    segments: tuple[RowSegment, ...] = field(default_factory=tuple)
+    coalesce: bool = True
+
+    def vnm_pattern(self) -> VNMPattern:
+        p = self.pattern
+        return VNMPattern(int(p["v"]), int(p["n"]), int(p["m"]), k=int(p["k"]))
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "shape": list(self.shape),
+            "pattern": dict(self.pattern),
+            "source_backend": self.source_backend,
+            "segments": [s.to_dict() for s in self.segments],
+            "coalesce": self.coalesce,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SegmentSpec":
+        return cls(
+            shape=(int(d["shape"][0]), int(d["shape"][1])),
+            pattern=dict(d["pattern"]),
+            source_backend=str(d["source_backend"]),
+            segments=tuple(RowSegment.from_dict(s) for s in d["segments"]),
+            coalesce=bool(d.get("coalesce", True)),
+        )
+
+
+def _pattern_dict(pattern: VNMPattern) -> dict:
+    return {"v": pattern.v, "n": pattern.n, "m": pattern.m, "k": pattern.k}
+
+
+class RowSegmenter:
+    """Partition the row space into conforming blocks and tail blocks.
+
+    Profiles per-tile-row (V-row band) N:M conformance via
+    :func:`~repro.sptc.conformance.conforming_tile_rows` and emits
+    contiguous, ``v``-aligned row blocks: maximal conforming runs of at
+    least ``min_block_rows`` rows on the dense backend, everything else
+    merged into tail blocks.  The split is a pure function of the operand's
+    sparsity structure and the config, so it fingerprints cleanly for the
+    tuner cache.
+    """
+
+    def __init__(self, pattern: VNMPattern, config: SegmentConfig | None = None):
+        self.pattern = pattern
+        self.config = config or DEFAULT_SEGMENT_CONFIG
+
+    def segment(self, csr: CSRMatrix) -> SegmentSpec:
+        cfg = self.config
+        v = self.pattern.v
+        n_rows = csr.shape[0]
+        spec_kwargs = dict(
+            shape=(csr.shape[0], csr.shape[1]),
+            pattern=_pattern_dict(self.pattern),
+            source_backend="csr",
+            coalesce=cfg.coalesce,
+        )
+        if n_rows == 0:
+            return SegmentSpec(segments=(), **spec_kwargs)
+        conf = conforming_tile_rows(csr, self.pattern)
+        # Tile-row runs: (start_tr, stop_tr, conforming) triples.
+        runs: list[list] = []
+        for t, ok in enumerate(conf):
+            ok = bool(ok)
+            if runs and runs[-1][2] == ok:
+                runs[-1][1] = t + 1
+            else:
+                runs.append([t, t + 1, ok])
+        # Demote conforming runs too short to amortize a dispatch.
+        min_trows = max(1, -(-cfg.min_block_rows // v))
+        for run in runs:
+            if run[2] and (run[1] - run[0]) < min_trows:
+                run[2] = False
+        runs = self._merge(runs)
+        # Bound the block count: demote the smallest conforming runs first.
+        while len(runs) > max(1, cfg.max_blocks):
+            conforming = [r for r in runs if r[2]]
+            if not conforming:
+                break
+            smallest = min(conforming, key=lambda r: (r[1] - r[0], r[0]))
+            smallest[2] = False
+            runs = self._merge(runs)
+        segments = []
+        for start_tr, stop_tr, ok in runs:
+            start, stop = start_tr * v, min(stop_tr * v, n_rows)
+            if stop <= start:
+                continue
+            backend = cfg.dense_backend if ok else cfg.tail_backend
+            segments.append(RowSegment(start, stop, backend, cfg.variant))
+        return SegmentSpec(segments=tuple(segments), **spec_kwargs)
+
+    @staticmethod
+    def _merge(runs: list[list]) -> list[list]:
+        merged: list[list] = []
+        for run in runs:
+            if merged and merged[-1][2] == run[2]:
+                merged[-1][1] = run[1]
+            else:
+                merged.append(list(run))
+        return merged
+
+
+def _slice_rows(csr: CSRMatrix, start: int, stop: int) -> CSRMatrix:
+    """Zero-copy-ish row slice ``csr[start:stop]`` (indices/data views)."""
+    lo, hi = int(csr.indptr[start]), int(csr.indptr[stop])
+    return CSRMatrix(
+        csr.indptr[start : stop + 1] - csr.indptr[start],
+        csr.indices[lo:hi],
+        csr.data[lo:hi],
+        (stop - start, csr.shape[1]),
+    )
+
+
+def _stack_rows(csr: CSRMatrix, blocks: tuple[RowSegment, ...]) -> CSRMatrix:
+    """The row blocks of ``csr`` stacked into one contiguous matrix.
+
+    Blocks are kept in row order, so V-row bands stay aligned: every block
+    starts on a ``v`` boundary and only the globally last block can end on
+    a partial band.
+    """
+    if len(blocks) == 1:
+        return _slice_rows(csr, blocks[0].start, blocks[0].stop)
+    counts = np.concatenate([
+        np.diff(csr.indptr[seg.start : seg.stop + 1]) for seg in blocks
+    ])
+    indptr = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    spans = [
+        slice(int(csr.indptr[seg.start]), int(csr.indptr[seg.stop]))
+        for seg in blocks
+    ]
+    indices = np.concatenate([csr.indices[s] for s in spans])
+    data = np.concatenate([csr.data[s] for s in spans])
+    return CSRMatrix(indptr, indices, data, (int(counts.size), csr.shape[1]))
+
+
+class _SubPlan:
+    """Runtime state for one backend group: operand + plan + sticky backend.
+
+    A group serves one or more row blocks that share a backend/variant —
+    one "kernel launch" covering all of them (their rows stacked in row
+    order).  Scratch only (lives in the plan's ``_subs``) — rebuilt from
+    the operand after unpickling.  ``downgraded_from`` records the ladder
+    walked when the group's original backend failed.
+    """
+
+    __slots__ = ("blocks", "operand", "plan", "backend", "variant",
+                 "row_index", "downgraded_from")
+
+    def __init__(self, blocks: tuple[RowSegment, ...], operand,
+                 plan: ExecutionPlan, backend: str, variant: str | None):
+        self.blocks = blocks
+        self.operand = operand
+        self.plan = plan
+        self.backend = backend
+        self.variant = variant
+        # Destination rows of the stacked result; None when the group is a
+        # single contiguous block (stitched via an out= view instead).
+        if len(blocks) == 1:
+            self.row_index = None
+        else:
+            self.row_index = np.concatenate(
+                [np.arange(seg.start, seg.stop, dtype=np.int64) for seg in blocks]
+            )
+        self.downgraded_from: list[str] = []
+
+    @property
+    def rows(self) -> int:
+        return sum(seg.rows for seg in self.blocks)
+
+    def run(self, b: np.ndarray, dtype, out: np.ndarray | None) -> np.ndarray:
+        """One sub-SpMM through the registry choke point, degrading this
+        group (and only this group) when its backend fails.
+
+        ``out`` — when the group is a single block, its row-slice view of
+        the stitched result (panel sub-plans GEMM straight into it);
+        ``None`` for multi-block groups, whose result is scattered by the
+        caller.
+        """
+        from ..pipeline import registry
+        from ..pipeline.resilience import BackendExecutionError
+
+        try:
+            return registry.run_kernel(
+                registry.backend_for(self.operand), self.operand, b,
+                kernel=lambda a, x: self.plan.execute(a, x, dtype=dtype, out=out),
+            )
+        except BackendExecutionError:
+            last: BackendExecutionError | None = None
+            for target in registry.fallback_chain(self.operand):
+                try:
+                    operand = registry.degrade(self.operand, target)
+                    plan = build_plan(operand, variant=self.variant)
+                    result = registry.run_kernel(
+                        registry.backend_for(operand), operand, b,
+                        kernel=lambda a, x, _p=plan: _p.execute(a, x, dtype=dtype, out=out),
+                    )
+                except BackendExecutionError as exc:
+                    last = exc
+                    continue
+                # Sticky: later calls serve this group from the fallback.
+                self.downgraded_from.append(self.backend)
+                self.operand, self.plan, self.backend = operand, plan, target
+                _downgrade_counter().inc()
+                return result
+            raise last if last is not None else BackendExecutionError(
+                f"segment group {self.backend!r} has no fallbacks",
+                backend=self.backend, kernel_name=self.backend,
+            )
+
+
+class SegmentedPlan(ExecutionPlan):
+    """A composition of per-row-block sub-plans stitched in row order.
+
+    Serves any registered operand whose backend matches the spec's
+    ``source_backend``; rows inside conforming blocks run on the dense
+    (SPTC) sub-plan, tail rows on the fallback sub-plan, and the outputs
+    are written back into one ``(n_rows, h)`` result — bitwise-identical
+    to the naive kernel on exact inputs, since every row's products and
+    reduction order are unchanged by the row split.
+    """
+
+    backend = "segmented"
+
+    def __init__(self, spec: SegmentSpec):
+        super().__init__(spec.shape, "segmented")
+        self.spec = spec
+
+    # -- scratch -----------------------------------------------------------
+    def _operand_csr(self, operand) -> CSRMatrix:
+        if isinstance(operand, CSRMatrix):
+            return operand
+        from ..pipeline import registry
+
+        return CSRMatrix.from_dense(registry.densify(operand))
+
+    def _ensure_subs(self, operand) -> list[_SubPlan]:
+        subs = getattr(self, "_subs", None)
+        if subs is not None:
+            return subs
+        from ..pipeline import registry
+
+        csr = self._operand_csr(operand)
+        pattern = self.spec.vnm_pattern()
+        # Group blocks per (backend, variant): one pooled sub-plan per group
+        # when coalescing, one group per block otherwise.
+        if self.spec.coalesce:
+            grouped: dict[tuple, list[RowSegment]] = {}
+            for seg in self.spec.segments:
+                grouped.setdefault((seg.backend, seg.variant), []).append(seg)
+            groups = [tuple(v) for v in grouped.values()]
+        else:
+            groups = [(seg,) for seg in self.spec.segments]
+        subs = []
+        seg_total, seg_rows = _seg_counters()
+        for blocks in groups:
+            backend, variant = blocks[0].backend, blocks[0].variant
+            stacked = _stack_rows(csr, blocks)
+            if backend == "csr":
+                sub_operand = stacked
+            elif backend == "dense":
+                sub_operand = stacked.to_dense()
+            else:
+                sub_operand = registry.compress(stacked, backend, pattern)
+            plan = build_plan(sub_operand, variant=variant)
+            subs.append(_SubPlan(blocks, sub_operand, plan, backend, variant))
+            for seg in blocks:
+                seg_total.inc()
+                seg_rows.observe(seg.rows)
+                _variant_counter(backend).inc()
+        self._subs = subs
+        return subs
+
+    # -- execution ---------------------------------------------------------
+    def execute(self, operand, b: np.ndarray, *, dtype=None,
+                out: np.ndarray | None = None) -> np.ndarray:
+        b = self._check(operand, b)
+        subs = self._ensure_subs(operand)
+        # Segments partition [0, n_rows) exactly, so no zero-fill is needed;
+        # single-block groups write their row-slice of ``out`` in place,
+        # multi-block groups scatter their stacked result per block.
+        if out is None:
+            out = np.empty((self.shape[0], b.shape[1]), dtype=np.float64)
+        for sub in subs:
+            if sub.row_index is None:
+                seg = sub.blocks[0]
+                sub.run(b, dtype, out[seg.start : seg.stop])
+            else:
+                out[sub.row_index] = sub.run(b, dtype, None)
+        return out
+
+    # -- introspection -----------------------------------------------------
+    def summary(self) -> dict:
+        """Per-segment routing report for health endpoints and ``repro stats``.
+
+        Uses the live sub-plans when built (reflecting sticky downgrades);
+        otherwise reports the spec as persisted.
+        """
+        subs = getattr(self, "_subs", None)
+        segments = []
+        coverage: dict[str, int] = {}
+        downgrades = 0
+        n_groups = None
+        if subs is not None:
+            n_groups = len(subs)
+            for sub in subs:
+                for seg in sub.blocks:
+                    entry = {
+                        "start": seg.start,
+                        "stop": seg.stop,
+                        "rows": seg.rows,
+                        "backend": sub.backend,
+                        "variant": sub.plan.variant,
+                    }
+                    if sub.downgraded_from:
+                        entry["downgraded_from"] = list(sub.downgraded_from)
+                    segments.append(entry)
+                    coverage[sub.backend] = coverage.get(sub.backend, 0) + seg.rows
+                downgrades += len(sub.downgraded_from)
+        else:
+            for seg in self.spec.segments:
+                segments.append({
+                    "start": seg.start, "stop": seg.stop, "rows": seg.rows,
+                    "backend": seg.backend, "variant": seg.variant,
+                })
+                coverage[seg.backend] = coverage.get(seg.backend, 0) + seg.rows
+        segments.sort(key=lambda s: s["start"])
+        total = self.shape[0]
+        out = {
+            "n_segments": len(segments),
+            "rows": total,
+            "coalesce": self.spec.coalesce,
+            "row_coverage": {
+                k: {"rows": r, "fraction": r / total if total else 0.0}
+                for k, r in sorted(coverage.items())
+            },
+            "downgrades": downgrades,
+            "segments": segments,
+        }
+        if n_groups is not None:
+            out["n_groups"] = n_groups
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentedPlan(shape={self.shape}, "
+            f"segments={len(self.spec.segments)}, "
+            f"source={self.spec.source_backend!r})"
+        )
+
+
+def build_segmented_plan(
+    operand,
+    *,
+    pattern: VNMPattern | None = None,
+    config: SegmentConfig | None = None,
+    spec: SegmentSpec | None = None,
+    cache: bool = True,
+) -> SegmentedPlan:
+    """Build a :class:`SegmentedPlan` for ``operand``.
+
+    With ``spec`` given, trusts it (cache / tuner replay).  Otherwise the
+    operand is profiled: ``pattern`` defaults to the operand's own
+    ``.pattern`` and is required for pattern-less formats (CSR, dense).
+    The plan is seeded into the engine's plan cache unless ``cache=False``
+    (the tuner builds throwaway candidates that must not shadow the
+    operand's served plan).
+    """
+    from ..pipeline import registry
+
+    if spec is None:
+        if pattern is None:
+            pattern = getattr(operand, "pattern", None)
+            if isinstance(pattern, VNMPattern):
+                pass
+            elif pattern is not None and hasattr(pattern, "n") and hasattr(pattern, "m"):
+                pattern = VNMPattern(1, pattern.n, pattern.m)
+            else:
+                raise ValueError(
+                    "segmented plans need a V:N:M pattern; the operand carries "
+                    "none — pass pattern= explicitly"
+                )
+        source = registry.backend_for(operand).name
+        csr = operand if isinstance(operand, CSRMatrix) else CSRMatrix.from_dense(
+            registry.densify(operand)
+        )
+        profiled = RowSegmenter(pattern, config).segment(csr)
+        spec = SegmentSpec(
+            shape=spec_shape(operand),
+            pattern=_pattern_dict(pattern),
+            source_backend=source,
+            segments=profiled.segments,
+            coalesce=profiled.coalesce,
+        )
+    plan = SegmentedPlan(spec)
+    if cache:
+        _cache_plan(operand, plan)
+    return plan
+
+
+def spec_shape(operand) -> tuple[int, int]:
+    return (int(operand.shape[0]), int(operand.shape[1]))

@@ -34,12 +34,26 @@ import numpy as np
 
 from . import engine
 
-__all__ = ["TunerDecision", "tune", "decision_key", "operand_fingerprint", "DEFAULT_BACKENDS"]
+__all__ = [
+    "TunerDecision",
+    "tune",
+    "decision_key",
+    "operand_fingerprint",
+    "DEFAULT_BACKENDS",
+    "DEFAULT_SEGMENT_CONFIGS",
+]
 
 logger = logging.getLogger("repro.perf.tuner")
 
 # Candidate order is part of the cache key; keep it stable.
 DEFAULT_BACKENDS = ("csr", "nm", "vnm", "bsr", "hybrid", "dense")
+
+# SegmentConfig grid tried when include_segmented=True.  Small on purpose:
+# each entry costs a full profile + stacked sub-plan build per tune().
+DEFAULT_SEGMENT_CONFIGS = (
+    {"min_block_rows": 1, "max_blocks": 256},
+    {"min_block_rows": 8, "max_blocks": 64},
+)
 
 # Bump to invalidate persisted decisions when the engine's kernels change
 # enough that old winners are stale.
@@ -69,13 +83,17 @@ class TunerDecision:
     failed: tuple[str, ...] = ()
     max_batch_columns: int = 0
     source: str = "measured"
+    # SegmentConfig.to_dict() payload when the winner is a segmented plan
+    # (backend == "segmented"); None otherwise.  Lets the decision be
+    # replayed: serving rebuilds the same row partition from it.
+    segments: dict | None = None
 
     @property
     def label(self) -> str:
         return self.backend + ("+fp32" if self.dtype == "float32" else "")
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "version": _TUNER_VERSION,
             "backend": self.backend,
             "dtype": self.dtype,
@@ -86,6 +104,9 @@ class TunerDecision:
             "failed": list(self.failed),
             "max_batch_columns": self.max_batch_columns,
         }
+        if self.segments is not None:
+            payload["segments"] = dict(self.segments)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict, *, source: str = "cache") -> "TunerDecision":
@@ -99,6 +120,7 @@ class TunerDecision:
             failed=tuple(payload.get("failed", ())),
             max_batch_columns=int(payload.get("max_batch_columns", 0)),
             source=source,
+            segments=payload.get("segments"),
         )
 
 
@@ -157,7 +179,8 @@ def _nnz_profile(operand) -> dict:
 
 
 def decision_key(operand, h: int, backends: tuple[str, ...], *,
-                 include_float32: bool = False) -> str:
+                 include_float32: bool = False,
+                 include_segmented: bool = False) -> str:
     """Content address of the decision :func:`tune` would produce."""
     payload = {
         "fingerprint": operand_fingerprint(operand),
@@ -168,6 +191,10 @@ def decision_key(operand, h: int, backends: tuple[str, ...], *,
         "include_float32": bool(include_float32),
         "tuner_version": _TUNER_VERSION,
     }
+    # Added to the payload only when enabled so keys persisted before
+    # segmented tuning existed remain valid addresses.
+    if include_segmented:
+        payload["include_segmented"] = True
     blob = json.dumps(payload, sort_keys=True).encode()
     return hashlib.sha256(blob).hexdigest()[:32]
 
@@ -189,9 +216,11 @@ class _Candidate:
     plan: engine.ExecutionPlan
     dtype: str = "float64"
     seconds: float = field(default=float("inf"))
+    segments: dict | None = None
 
 
-def _build_candidates(operand, backends, *, include_float32: bool) -> tuple[list, list]:
+def _build_candidates(operand, backends, *, include_float32: bool,
+                      include_segmented: bool = False) -> tuple[list, list]:
     from ..pipeline import registry
 
     current = registry.backend_for(operand).name
@@ -208,6 +237,21 @@ def _build_candidates(operand, backends, *, include_float32: bool) -> tuple[list
         candidates.append(_Candidate(name, op, plan))
         if include_float32 and engine.fp32_within_bound(op, plan):
             candidates.append(_Candidate(f"{name}+fp32", op, plan, dtype="float32"))
+    if include_segmented:
+        from .segment import SegmentConfig, build_segmented_plan
+
+        for cfg_dict in DEFAULT_SEGMENT_CONFIGS:
+            cfg = SegmentConfig.from_dict(cfg_dict)
+            label = f"segmented:min{cfg.min_block_rows}"
+            try:
+                # cache=False: throwaway candidates must not shadow the
+                # operand's served plan in the engine cache.
+                plan = build_segmented_plan(operand, config=cfg, cache=False)
+            except Exception as exc:  # noqa: BLE001
+                logger.debug("tuner: candidate %r unavailable: %s", label, exc)
+                failed.append(label)
+                continue
+            candidates.append(_Candidate(label, operand, plan, segments=cfg.to_dict()))
     return candidates, failed
 
 
@@ -220,6 +264,7 @@ def tune(
     repeats: int = 3,
     seed: int = 0,
     include_float32: bool = False,
+    include_segmented: bool = False,
 ) -> TunerDecision:
     """Pick the fastest (backend, dtype) for serving ``operand`` at width ``h``.
 
@@ -229,14 +274,18 @@ def tune(
     """
     backends = tuple(backends) if backends else DEFAULT_BACKENDS
     fresh_counter, hit_counter = _counters()
-    key = decision_key(operand, h, backends, include_float32=include_float32)
+    key = decision_key(operand, h, backends, include_float32=include_float32,
+                       include_segmented=include_segmented)
     if cache is not None:
         stored = cache.load_decision(key)
         if stored is not None:
             hit_counter.inc()
             return TunerDecision.from_dict(stored, source="cache")
 
-    candidates, failed = _build_candidates(operand, backends, include_float32=include_float32)
+    candidates, failed = _build_candidates(
+        operand, backends,
+        include_float32=include_float32, include_segmented=include_segmented,
+    )
     if not candidates:
         raise ValueError(
             f"no tuner candidate could be built for operand type "
@@ -257,8 +306,11 @@ def tune(
     # Deterministic winner: fastest, then lexicographic label on exact ties.
     ranked = sorted(candidates, key=lambda cand: (cand.seconds, cand.label))
     winner = ranked[0]
+    backend = winner.label.removesuffix("+fp32")
+    if winner.segments is not None:
+        backend = "segmented"  # label carries the config ("segmented:minN")
     decision = TunerDecision(
-        backend=winner.label.removesuffix("+fp32"),
+        backend=backend,
         dtype=winner.dtype,
         variant=winner.plan.variant,
         h=int(h),
@@ -269,6 +321,7 @@ def tune(
         # shape regime; MicroBatcher caps its column budget here.
         max_batch_columns=int(h) * 8,
         source="measured",
+        segments=winner.segments,
     )
     fresh_counter.inc()
     if cache is not None:

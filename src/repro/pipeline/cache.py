@@ -208,6 +208,11 @@ class ArtifactCache:
             tmp.unlink(missing_ok=True)
         return path
 
+    # Version 1 sidecars were a bare pickled plan; version 2 wraps the plan
+    # in an envelope dict so segmented plans (and future metadata) travel
+    # alongside.  load_plan reads both.
+    _PLAN_SIDECAR_VERSION = 2
+
     def store_plan(self, key: str, plan) -> Path:
         """Persist an execution plan next to its artefact (atomic write).
 
@@ -216,12 +221,14 @@ class ArtifactCache:
         """
         import pickle
 
-        return self._store_atomic(self.plan_path(key), pickle.dumps(plan))
+        envelope = {"sidecar_version": self._PLAN_SIDECAR_VERSION, "plan": plan}
+        return self._store_atomic(self.plan_path(key), pickle.dumps(envelope))
 
     def load_plan(self, key: str):
         """The persisted plan for ``key``, or ``None``.
 
-        An unreadable plan sidecar is quarantined and answered as a miss —
+        Accepts both the v2 envelope and the bare-plan v1 layout.  An
+        unreadable plan sidecar is quarantined and answered as a miss —
         the caller rebuilds the plan from the operand, so a damaged sidecar
         never blocks serving.  The cache directory is trusted local state
         (same trust level as the ``.npz`` artefacts it sits beside), which
@@ -235,6 +242,8 @@ class ArtifactCache:
             return None
         try:
             plan = pickle.loads(path.read_bytes())
+            if isinstance(plan, dict):
+                plan = plan["plan"]
         except Exception:  # noqa: BLE001 - any unpickling damage is a miss
             self._quarantine(path)
             self.stats.plan_misses += 1

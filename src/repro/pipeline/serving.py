@@ -374,19 +374,23 @@ class ServingSession:
 
     # -- autotuning (repro.perf.tuner) -------------------------------------
     def tune(self, h: int = 64, *, cache=None, backends=None, repeats: int = 3,
-             seed: int = 0, include_float32: bool = False):
+             seed: int = 0, include_float32: bool = False,
+             include_segmented: bool = False):
         """Tune this session's kernel for feature width ``h`` and apply it.
 
         Runs (or loads, when ``cache`` already holds the decision for this
         operand/width) the :func:`repro.perf.tuner.tune` micro-benchmark
         and applies the winning backend/dtype via :meth:`apply_decision`.
-        Returns the :class:`~repro.perf.tuner.TunerDecision`.
+        ``include_segmented`` adds row-segmented plan candidates
+        (:mod:`repro.perf.segment`) to the bake-off.  Returns the
+        :class:`~repro.perf.tuner.TunerDecision`.
         """
         from ..perf import tuner as perf_tuner
 
         decision = perf_tuner.tune(
             self.operand, h, cache=cache, backends=backends,
             repeats=repeats, seed=seed, include_float32=include_float32,
+            include_segmented=include_segmented,
         )
         self.apply_decision(decision)
         return decision
@@ -396,10 +400,18 @@ class ServingSession:
 
         The operand swap goes through :func:`repro.pipeline.registry.
         degrade` — densify + recompress — so the numeric content is
-        unchanged; only the kernel serving it is.  The decision stays on
+        unchanged; only the kernel serving it is.  A ``"segmented"``
+        decision keeps the operand and instead compiles its row-segmented
+        plan (from ``decision.segments``) into the engine's plan cache, so
+        subsequent requests route per row block.  The decision stays on
         :attr:`tuned` for the micro-batcher to consult.
         """
-        if decision.backend != self.backend_name:
+        if decision.backend == "segmented":
+            from ..perf.segment import SegmentConfig, build_segmented_plan
+
+            config = SegmentConfig.from_dict(decision.segments or {})
+            build_segmented_plan(self.operand, config=config)
+        elif decision.backend != self.backend_name:
             self.operand = registry.degrade(self.operand, decision.backend)
         self._dtype = np.float32 if decision.dtype == "float32" else None
         self.precision = decision.dtype
@@ -412,6 +424,19 @@ class ServingSession:
             "session tuned to backend %r (dtype=%s, h=%d, %s)",
             decision.backend, decision.dtype, decision.h, decision.source,
         )
+
+    def segment_summary(self) -> dict | None:
+        """Row-block layout of the serving plan, when it is segmented.
+
+        Returns :meth:`repro.perf.segment.SegmentedPlan.summary` — per-block
+        backend/variant, per-backend row coverage, downgrade count — or
+        ``None`` when the session serves through an ordinary single-kernel
+        plan.
+        """
+        plan = perf_engine.cached_plan(self.operand)
+        if plan is not None and getattr(plan, "backend", None) == "segmented":
+            return plan.summary()
+        return None
 
     # Aggregator (and any dispatch_spmm caller) treats a session like an
     # operand, so mm/mm_t spell out the symmetric-operator convention.

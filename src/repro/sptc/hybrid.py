@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.patterns import VNMPattern
+from .conformance import topn_keep_mask
 from .costmodel import CostModel, SpmmWorkload
 from .csr import CSRMatrix
 from .venom import VNMCompressed
@@ -66,20 +67,8 @@ def split_csr_to_pattern(csr: CSRMatrix, pattern: VNMPattern) -> tuple[CSRMatrix
     keep[o1] = keep1
 
     # Horizontal: among kept entries, keep top-N magnitude per (row, seg).
-    seg_key = rows * np.int64(n_segs) + (cols // m)
-    o2 = np.lexsort((-np.abs(data), seg_key))
-    sk2, keep2 = seg_key[o2], keep[o2]
-    grp_start = np.ones(sk2.size, dtype=bool)
-    grp_start[1:] = sk2[1:] != sk2[:-1]
-    # Running count of kept entries within each (row, seg) group.
-    kept_int = keep2.astype(np.int64)
-    cum = np.cumsum(kept_int)
-    grp_first_idx = np.repeat(np.nonzero(grp_start)[0], np.diff(np.append(np.nonzero(grp_start)[0], sk2.size)))
-    cum_before_group = np.where(grp_first_idx > 0, cum[np.maximum(grp_first_idx - 1, 0)], 0)
-    kept_rank = cum - cum_before_group - kept_int  # kept entries before this one in group
-    keep2 &= kept_rank < n
-    final_keep = np.empty(rows.size, dtype=bool)
-    final_keep[o2] = keep2
+    # Shared with the row segmenter (repro.perf.segment) via conformance.
+    final_keep = topn_keep_mask(rows, cols, data, n=n, m=m, n_segs=n_segs, keep=keep)
 
     conforming = CSRMatrix.from_coo(rows[final_keep], cols[final_keep], data[final_keep], csr.shape)
     residual = CSRMatrix.from_coo(rows[~final_keep], cols[~final_keep], data[~final_keep], csr.shape)

@@ -1,0 +1,332 @@
+"""Segmented execution plans: bitwise stitching, per-group degradation,
+spec round-trips, and the end of the VNM availability cliff.
+
+Every exactness test uses integer-valued operands and features, so all
+float64 partial sums are exact and the segmented plan's stitched output
+must match the naive kernels **bitwise** — the row split never changes any
+row's products or reduction order.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import VNMPattern
+from repro.obs import default_registry
+from repro.perf import engine
+from repro.perf.segment import (
+    DEFAULT_SEGMENT_CONFIG,
+    RowSegmenter,
+    SegmentConfig,
+    SegmentSpec,
+    SegmentedPlan,
+    build_segmented_plan,
+)
+from repro.pipeline import faults, registry
+from repro.sptc import CSRMatrix, HybridVNM
+
+VNM = VNMPattern(1, 2, 4)
+
+
+def integer_matrix(n_rows, n_cols, rng, density=0.2):
+    mask = rng.random((n_rows, n_cols)) < density
+    return mask * rng.integers(1, 8, size=(n_rows, n_cols)).astype(np.float64)
+
+
+def banded_matrix(n_rows=64, n_cols=64, violate=()):
+    """Conforming 2:4 rows everywhere except the listed violating rows.
+
+    Violating rows get 3 entries in their first M-segment (breaks N=2);
+    conforming rows get exactly 2 per segment — so segment boundaries land
+    exactly where ``violate`` says.
+    """
+    a = np.zeros((n_rows, n_cols))
+    for i in range(n_rows):
+        for s in range(n_cols // 4):
+            a[i, s * 4] = i + 1.0
+            a[i, s * 4 + 2] = 2.0
+    for i in violate:
+        a[i, 1] = 3.0
+    return a
+
+
+def feature_block(n_cols, h=5, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(-4, 5, size=(n_cols, h)).astype(np.float64)
+
+
+class TestRowSegmenter:
+    def test_partition_is_exact_and_ordered(self):
+        a = banded_matrix(violate=(7, 8, 31))
+        spec = RowSegmenter(VNM).segment(CSRMatrix.from_dense(a))
+        stops = 0
+        for seg in spec.segments:
+            assert seg.start == stops
+            assert seg.stop > seg.start
+            stops = seg.stop
+        assert stops == a.shape[0]
+
+    def test_boundaries_follow_violations(self):
+        a = banded_matrix(violate=(10, 11))
+        spec = RowSegmenter(VNM).segment(CSRMatrix.from_dense(a))
+        kinds = [(s.start, s.stop, s.backend) for s in spec.segments]
+        assert kinds == [(0, 10, "vnm"), (10, 12, "csr"), (12, 64, "vnm")]
+
+    def test_v_alignment(self):
+        pat = VNMPattern(4, 2, 8)
+        a = banded_matrix(n_rows=62, n_cols=64, violate=(17,))
+        spec = RowSegmenter(pat).segment(CSRMatrix.from_dense(a))
+        for seg in spec.segments:
+            assert seg.start % pat.v == 0
+        assert spec.segments[-1].stop == 62  # partial last band clamps
+
+    def test_min_block_rows_demotes_short_runs(self):
+        a = banded_matrix(violate=(2, 5))  # conforming islands of 2 rows
+        cfg = SegmentConfig(min_block_rows=4)
+        spec = RowSegmenter(VNM, cfg).segment(CSRMatrix.from_dense(a))
+        assert spec.segments[0].backend == "csr"
+        assert spec.segments[0].rows >= 6
+
+    def test_max_blocks_bounds_segment_count(self):
+        rng = np.random.default_rng(5)
+        a = integer_matrix(96, 64, rng, density=0.15)
+        cfg = SegmentConfig(min_block_rows=1, max_blocks=3)
+        spec = RowSegmenter(VNM, cfg).segment(CSRMatrix.from_dense(a))
+        assert 1 <= len(spec.segments) <= 3
+
+    def test_empty_matrix(self):
+        spec = RowSegmenter(VNM).segment(CSRMatrix.from_dense(np.zeros((0, 8))))
+        assert spec.segments == ()
+
+
+class TestSegmentedPlanExactness:
+    def test_bitwise_equal_and_vnm_coverage_on_violating_operand(self):
+        a = banded_matrix(violate=(20, 21, 40))
+        csr = CSRMatrix.from_dense(a)
+        b = feature_block(64)
+        plan = build_segmented_plan(csr, pattern=VNM)
+        out = plan.execute(csr, b)
+        assert np.array_equal(out, a @ b)
+        assert np.array_equal(out, registry.dispatch_spmm(csr, b))
+        cov = plan.summary()["row_coverage"]
+        assert cov["vnm"]["rows"] == 61 and cov["csr"]["rows"] == 3
+
+    def test_out_buffer_is_used(self):
+        a = banded_matrix(violate=(9,))
+        csr = CSRMatrix.from_dense(a)
+        b = feature_block(64)
+        plan = build_segmented_plan(csr, pattern=VNM)
+        buf = np.empty((64, b.shape[1]))
+        res = plan.execute(csr, b, out=buf)
+        assert res is buf and np.array_equal(buf, a @ b)
+
+    def test_coalesced_and_non_coalesced_agree(self):
+        rng = np.random.default_rng(11)
+        a = integer_matrix(80, 48, rng, density=0.12)
+        csr = CSRMatrix.from_dense(a)
+        b = feature_block(48)
+        pooled = build_segmented_plan(
+            csr, pattern=VNM, config=SegmentConfig(coalesce=True), cache=False)
+        per_block = build_segmented_plan(
+            csr, pattern=VNM, config=SegmentConfig(coalesce=False), cache=False)
+        out_pooled = pooled.execute(csr, b)
+        out_blocks = per_block.execute(csr, b)
+        assert np.array_equal(out_pooled, a @ b)
+        assert np.array_equal(out_pooled, out_blocks)
+        assert pooled.summary()["n_groups"] <= per_block.summary()["n_groups"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_rows=st.integers(min_value=1, max_value=64),
+        n_cols=st.integers(min_value=1, max_value=64),
+        density=st.floats(min_value=0.0, max_value=0.4),
+        pattern=st.sampled_from(
+            [VNMPattern(1, 2, 4), VNMPattern(2, 2, 4), VNMPattern(4, 2, 8)]
+        ),
+        min_block_rows=st.sampled_from([1, 2, 8]),
+        max_blocks=st.sampled_from([1, 2, 4, 256]),
+        coalesce=st.booleans(),
+    )
+    def test_property_bitwise_vs_naive_across_boundary_placements(
+            self, seed, n_rows, n_cols, density, pattern,
+            min_block_rows, max_blocks, coalesce):
+        rng = np.random.default_rng(seed)
+        a = integer_matrix(n_rows, n_cols, rng, density)
+        csr = CSRMatrix.from_dense(a)
+        b = rng.integers(-4, 5, size=(n_cols, 3)).astype(np.float64)
+        cfg = SegmentConfig(min_block_rows=min_block_rows,
+                            max_blocks=max_blocks, coalesce=coalesce)
+        plan = build_segmented_plan(csr, pattern=pattern, config=cfg, cache=False)
+        assert np.array_equal(plan.execute(csr, b),
+                              registry.dispatch_spmm(csr, b))
+
+    def test_pattern_bearing_operand_autodetects(self):
+        rng = np.random.default_rng(13)
+        a = integer_matrix(64, 64, rng, density=0.1)
+        hybrid = HybridVNM.compress_csr(CSRMatrix.from_dense(a), VNM)
+        b = feature_block(64)
+        plan = build_segmented_plan(hybrid)
+        assert np.array_equal(plan.execute(hybrid, b), a @ b)
+
+    def test_patternless_operand_requires_pattern(self):
+        csr = CSRMatrix.from_dense(np.eye(8))
+        with pytest.raises(ValueError, match="pattern"):
+            build_segmented_plan(csr)
+
+
+class TestEngineIntegration:
+    def test_plan_for_variant_segmented_caches(self):
+        rng = np.random.default_rng(17)
+        a = integer_matrix(64, 64, rng, density=0.1)
+        hybrid = HybridVNM.compress_csr(CSRMatrix.from_dense(a), VNM)
+        plan = engine.plan_for(hybrid, variant="segmented")
+        assert isinstance(plan, SegmentedPlan)
+        assert engine.plan_for(hybrid, variant="segmented") is plan
+        b = feature_block(64)
+        assert np.array_equal(engine.execute(hybrid, b), a @ b)
+
+    def test_segment_kwargs_rejected_for_other_variants(self):
+        csr = CSRMatrix.from_dense(np.eye(8))
+        with pytest.raises(ValueError, match="segmented"):
+            engine.build_plan(csr, variant="panel", pattern=VNM)
+
+    def test_adopt_plan_checks_source_backend(self):
+        a = banded_matrix(violate=(3,))
+        csr = CSRMatrix.from_dense(a)
+        plan = build_segmented_plan(csr, pattern=VNM, cache=False)
+        other = CSRMatrix.from_dense(a)
+        adopted = engine.adopt_plan(other, plan)
+        assert adopted is plan
+        b = feature_block(64)
+        assert np.array_equal(plan.execute(other, b), a @ b)
+        with pytest.raises(ValueError):
+            engine.adopt_plan(a, plan)  # dense operand, csr-sourced spec
+
+    def test_obs_counters_registered(self):
+        a = banded_matrix(violate=(12,))
+        csr = CSRMatrix.from_dense(a)
+        plan = build_segmented_plan(csr, pattern=VNM, cache=False)
+        plan.execute(csr, feature_block(64))
+        snap = default_registry().snapshot()
+        assert "engine_segments_total" in snap
+        assert "engine_segment_rows" in snap
+        backends = {
+            tuple(sorted((s.get("labels") or {}).items()))
+            for s in snap.get("engine_segment_variant_total", [])
+        }
+        assert (("backend", "vnm"),) in backends
+
+
+class TestRoundTrips:
+    def test_spec_dict_round_trip(self):
+        a = banded_matrix(violate=(5, 6))
+        spec = RowSegmenter(VNM, SegmentConfig(coalesce=False)).segment(
+            CSRMatrix.from_dense(a))
+        again = SegmentSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_config_dict_round_trip_with_defaults(self):
+        cfg = SegmentConfig(min_block_rows=8, max_blocks=64, coalesce=False)
+        assert SegmentConfig.from_dict(cfg.to_dict()) == cfg
+        assert SegmentConfig.from_dict({}) == DEFAULT_SEGMENT_CONFIG
+
+    def test_pickle_drops_scratch_and_rebuilds(self):
+        a = banded_matrix(violate=(30, 31))
+        csr = CSRMatrix.from_dense(a)
+        b = feature_block(64)
+        plan = build_segmented_plan(csr, pattern=VNM, cache=False)
+        expected = plan.execute(csr, b)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert not hasattr(clone, "_subs")
+        assert clone.spec == plan.spec
+        assert np.array_equal(clone.execute(csr, b), expected)
+
+    def test_cache_sidecar_v2_and_v1_compat(self, tmp_path):
+        from repro.pipeline.cache import ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        a = banded_matrix(violate=(2,))
+        csr = CSRMatrix.from_dense(a)
+        plan = build_segmented_plan(csr, pattern=VNM, cache=False)
+        cache.store_plan("k", plan)
+        envelope = pickle.loads(cache.plan_path("k").read_bytes())
+        assert envelope["sidecar_version"] == 2
+        loaded = cache.load_plan("k")
+        assert isinstance(loaded, SegmentedPlan) and loaded.spec == plan.spec
+        # v1 sidecars (bare pickled plan) still load
+        cache.plan_path("old").write_bytes(pickle.dumps(plan))
+        assert isinstance(cache.load_plan("old"), SegmentedPlan)
+
+    def test_tuner_decision_persists_segments(self, tmp_path):
+        from repro.perf import tuner
+        from repro.pipeline.cache import ArtifactCache
+
+        rng = np.random.default_rng(23)
+        a = integer_matrix(64, 64, rng, density=0.1)
+        hybrid = HybridVNM.compress_csr(CSRMatrix.from_dense(a), VNM)
+        cache = ArtifactCache(tmp_path)
+        decision = tuner.tune(hybrid, h=4, cache=cache, repeats=1,
+                              include_segmented=True)
+        labels = [label for label, _ in decision.timings] + list(decision.failed)
+        assert any(label.startswith("segmented:") for label in labels)
+        again = tuner.tune(hybrid, h=4, cache=cache, repeats=1,
+                           include_segmented=True)
+        assert again.source == "cache"
+        assert again.segments == decision.segments
+        # the segmented toggle addresses a different decision
+        plain = tuner.tune(hybrid, h=4, cache=cache, repeats=1)
+        assert plain.key != decision.key and plain.segments is None
+        # legacy payloads (no "segments") still load
+        loaded = tuner.TunerDecision.from_dict(plain.to_dict())
+        assert loaded.segments is None
+
+    def test_preprocess_plan_key_only_changes_when_segmented(self):
+        from repro.pipeline.preprocess import PreprocessPlan
+
+        base = PreprocessPlan(pattern=VNM)
+        assert "segmented" not in base.key_fields()
+        assert PreprocessPlan(pattern=VNM, segmented=True).key_fields()[
+            "segmented"] is True
+
+
+@pytest.mark.faults
+class TestPerSegmentDegradation:
+    def test_only_failing_group_downgrades(self):
+        a = banded_matrix(violate=(16, 17))
+        csr = CSRMatrix.from_dense(a)
+        b = feature_block(64)
+        plan = build_segmented_plan(csr, pattern=VNM, cache=False)
+        expected = plan.execute(csr, b)  # build groups, fault-free baseline
+        before = {s["backend"] for s in plan.summary()["segments"]}
+        assert before == {"vnm", "csr"}
+        with faults.inject(faults.FaultPlan(kernel_failures={"vnm": 1})):
+            out = plan.execute(csr, b)
+        assert np.array_equal(out, expected)
+        summary = plan.summary()
+        by_backend = {s["backend"] for s in summary["segments"]}
+        # the vnm group walked its ladder (vnm -> bsr), the csr tail did not
+        assert "vnm" not in by_backend
+        assert "csr" in by_backend
+        assert summary["downgrades"] == 1
+        downgraded = [s for s in summary["segments"]
+                      if s.get("downgraded_from")]
+        assert all(s["downgraded_from"] == ["vnm"] for s in downgraded)
+        # sticky: the next fault-free execute serves from the fallback
+        assert np.array_equal(plan.execute(csr, b), expected)
+
+    def test_whole_ladder_failure_raises_backend_error(self):
+        from repro.pipeline.resilience import BackendExecutionError
+
+        a = banded_matrix(violate=(16,))
+        csr = CSRMatrix.from_dense(a)
+        b = feature_block(64)
+        plan = build_segmented_plan(csr, pattern=VNM, cache=False)
+        plan.execute(csr, b)
+        with faults.inject(faults.FaultPlan(kernel_failures={
+                "vnm": 1, "bsr": 1, "csr": 2, "dense": 1})):
+            with pytest.raises(BackendExecutionError):
+                plan.execute(csr, b)

@@ -1,0 +1,88 @@
+"""Shared N:M conformance scans (repro.sptc.conformance).
+
+The helpers are consumed from two sites — the hybrid splitter's top-N
+magnitude selection and the row segmenter's per-tile-row profile — so the
+tests pin the predicates both rely on: the keep mask equals the dense
+ranking, and ``conforming_tile_rows`` says exactly where whole-matrix
+V:N:M compression would succeed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import VNMPattern
+from repro.sptc import CSRMatrix
+from repro.sptc.conformance import (
+    conforming_tile_rows,
+    row_nm_violations,
+    tile_row_vertical_violations,
+    topn_keep_mask,
+)
+from repro.sptc.venom import VNMCompressed, VNMFormatError
+
+VNM = VNMPattern(1, 2, 4)
+
+
+def random_coo(n_rows, n_cols, rng, density=0.25):
+    mask = rng.random((n_rows, n_cols)) < density
+    dense = mask * (rng.random((n_rows, n_cols)) + 0.5)
+    rows, cols = np.nonzero(dense)
+    return dense, rows.astype(np.int64), cols.astype(np.int64), dense[rows, cols]
+
+
+class TestTopnKeepMask:
+    def test_keeps_top_n_per_row_segment(self):
+        rng = np.random.default_rng(0)
+        n_rows, n_cols, n, m = 32, 24, 2, 4
+        n_segs = (n_cols + m - 1) // m
+        dense, rows, cols, data = random_coo(n_rows, n_cols, rng)
+        keep = topn_keep_mask(rows, cols, data, n=n, m=m, n_segs=n_segs)
+        # every (row, segment) keeps at most n entries, and the kept ones
+        # are magnitude-maximal within their segment
+        for i in range(n_rows):
+            for s in range(n_segs):
+                sel = (rows == i) & (cols // m == s)
+                kept_vals = np.abs(data[sel & keep])
+                dropped_vals = np.abs(data[sel & ~keep])
+                assert kept_vals.size <= n
+                if dropped_vals.size:
+                    assert kept_vals.size == n
+                    assert kept_vals.min() >= dropped_vals.max()
+
+    def test_respects_prior_keep_mask(self):
+        rows = np.array([0, 0, 0, 0])
+        cols = np.array([0, 1, 2, 3])
+        data = np.array([9.0, 8.0, 2.0, 1.0])
+        prior = np.array([False, True, True, True])
+        keep = topn_keep_mask(rows, cols, data, n=2, m=4, n_segs=1, keep=prior)
+        assert keep.tolist() == [False, True, True, False]
+
+
+class TestViolationScans:
+    def test_row_violations_count_overflow(self):
+        a = np.zeros((4, 8))
+        a[1, :4] = [1, 2, 3, 0]   # 3 nnz in one 2:4 segment: 1 overflow
+        a[3, :8] = 1.0            # 4 nnz in each segment: 2 overflow each
+        counts = row_nm_violations(CSRMatrix.from_dense(a), VNM)
+        assert counts.tolist() == [0, 1, 0, 4]
+
+    def test_vertical_violations(self):
+        pat = VNMPattern(4, 2, 4, k=2)
+        a = np.zeros((4, 4))
+        a[0, 0] = a[1, 1] = a[2, 2] = 1.0  # 3 live columns > k=2
+        assert tile_row_vertical_violations(CSRMatrix.from_dense(a), pat).tolist() == [1]
+        a[2, 2] = 0.0
+        assert tile_row_vertical_violations(CSRMatrix.from_dense(a), pat).tolist() == [0]
+
+    def test_conforming_tile_rows_predicts_compressibility(self):
+        rng = np.random.default_rng(7)
+        dense, *_ = random_coo(40, 32, rng, density=0.2)
+        csr = CSRMatrix.from_dense(dense)
+        ok = conforming_tile_rows(csr, VNM)
+        for t in range(40):
+            band = CSRMatrix.from_dense(dense[t : t + 1])
+            if ok[t]:
+                VNMCompressed.compress_csr(band, VNM)  # must not raise
+            else:
+                with pytest.raises(VNMFormatError):
+                    VNMCompressed.compress_csr(band, VNM)
