@@ -9,11 +9,13 @@ Usage::
                           [--pool] [--profile] [--segmented]
     python -m repro serve INPUT.mtx --cache-dir DIR [--h 64] [--requests N]
                           [--micro-batch] [--max-retries N] [--deadline SECONDS]
+                          [--breakers] [--breaker-threshold N] [--breaker-cooldown S]
+                          [--max-queue-depth N] [--shed-deadline SECONDS]
                           [--metrics-file M.json] [--trace-file T.json] [--segmented]
     python -m repro tune INPUT.mtx --cache-dir DIR [--h 64] [--repeats N]
                           [--float32] [--segmented]
     python -m repro stats [--metrics-file M.json] [--cache-dir DIR]
-    python -m repro doctor --cache-dir DIR
+    python -m repro doctor --cache-dir DIR [--selftest]
 
 ``reorder`` writes the reordered (still symmetric) matrix and prints the
 conformity report; ``survey`` runs the best-pattern search and the modelled
@@ -24,7 +26,10 @@ artifact cache, fanning batches out over ``--workers`` processes
 (``--pool`` keeps a warm shared-memory worker pool, ``--profile`` prints
 the run's span tree); ``serve`` answers SpMM requests from those artefacts
 (retrying/degrading per ``--max-retries`` / ``--deadline``,
-``--micro-batch`` coalescing requests through the bounded queue) and
+``--micro-batch`` coalescing requests through the bounded queue,
+``--breakers`` guarding every kernel call with per-backend circuit
+breakers, ``--max-queue-depth`` / ``--shed-deadline`` shedding overload at
+admission — see ``docs/resilience.md``) and
 verifies the output against the dense reference,
 optionally exporting metrics/trace files; ``tune`` micro-benchmarks every
 backend kernel on the preprocessed operand and persists the winning
@@ -36,7 +41,8 @@ plans as candidates; ``stats`` pretty-prints a metrics
 export and/or cache-directory statistics (including persisted tuner
 decisions and segmented plan sidecars); ``doctor`` fsck-checks a cache
 directory, quarantining corrupt artefacts and cleaning half-written temp
-files.
+files, and with ``--selftest`` runs a tiny operand through every
+compressible backend under a scoped breaker board.
 
 Output goes through the ``repro`` logger hierarchy (see
 :func:`repro.obs.logging_setup`); ``-v/--verbose`` raises it to DEBUG and
@@ -185,8 +191,25 @@ def _cmd_preprocess(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .pipeline import ArtifactCache, RetryPolicy, ServingSession, preprocess
+    from .pipeline.guard import (
+        AdmissionPolicy,
+        BreakerConfig,
+        active_breakers,
+        enable_breakers,
+    )
 
     metrics = MetricsRegistry() if args.metrics_file else None
+
+    if args.breakers:
+        # The board shares the serve run's registry so breaker gauges and
+        # transition counters land in --metrics-file alongside latency.
+        enable_breakers(
+            BreakerConfig.from_env(args.breaker_threshold, args.breaker_cooldown),
+            metrics=metrics,
+        )
+    admission = None
+    if args.max_queue_depth is not None or args.shed_deadline is not None:
+        admission = AdmissionPolicy.from_env(args.max_queue_depth, args.shed_deadline)
 
     graph = graph_from_mtx(args.input)
     cache = ArtifactCache(args.cache_dir, metrics=metrics)
@@ -199,7 +222,7 @@ def _cmd_serve(args) -> int:
         )
         policy = RetryPolicy(max_attempts=args.max_retries + 1, deadline=args.deadline)
         session = ServingSession.from_result(
-            result, retry_policy=policy, metrics=metrics
+            result, retry_policy=policy, metrics=metrics, admission=admission
         )
 
         # Integer-valued features keep every partial sum exact, so the served
@@ -258,6 +281,13 @@ def _cmd_serve(args) -> int:
         for event in stats.downgrades:
             logger.info(f"  downgraded {event.from_backend} -> {event.to_backend}: "
                         f"{event.reason}")
+    board = active_breakers()
+    if board is not None:
+        snapshot = board.snapshot()
+        states = ", ".join(
+            f"{name}={info['state']}" for name, info in snapshot.items()
+        ) or "no backends guarded yet"
+        logger.info(f"breakers: {states}")
 
     if metrics is not None:
         path = Path(args.metrics_file)
@@ -380,6 +410,53 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _backend_selftest() -> int:
+    """Run a tiny operand through every compressible backend.
+
+    Each backend compresses a small reference matrix and serves one SpMM
+    through :func:`run_kernel` under a scoped breaker board, so the report
+    shows both kernel correctness and the breaker state each backend ends
+    in.  Returns the number of *failing* backends (``unavailable`` — the
+    operand cannot be built, e.g. a non-conforming matrix for ``vnm`` — is
+    not a failure).
+    """
+    from .pipeline import registry
+    from .pipeline.guard import breaker_scope
+
+    rng = np.random.default_rng(0)
+    dense = (rng.random((16, 16)) < 0.4).astype(np.float64)
+    csr = CSRMatrix.from_dense(dense)
+    x = rng.integers(0, 8, size=(16, 4)).astype(np.float64)
+    reference = dense @ x
+    pattern = VNMPattern(1, 2, 4)
+    failures = 0
+    logger.info("backend self-test (16x16 reference operand):")
+    with breaker_scope() as board:
+        for name in registry.available_backends():
+            backend = registry.get_backend(name)
+            if backend.compress is None or name == "serving":
+                continue
+            try:
+                operand = registry.compress(csr, name, pattern)
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                logger.info(f"  {name:<8} unavailable ({type(exc).__name__}: {exc})")
+                continue
+            try:
+                out = registry.run_kernel(backend, operand, x)
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                failures += 1
+                logger.warning(f"  {name:<8} FAIL ({type(exc).__name__}: {exc})")
+                continue
+            bitwise = bool(np.array_equal(out, reference))
+            if not bitwise:
+                failures += 1
+            logger.info(
+                f"  {name:<8} {'ok' if bitwise else 'FAIL (result mismatch)'} "
+                f"(breaker {board.state(name)})"
+            )
+    return failures
+
+
 def _cmd_doctor(args) -> int:
     from .pipeline import ArtifactCache
 
@@ -395,7 +472,10 @@ def _cmd_doctor(args) -> int:
     if report["corrupt"]:
         logger.info(f"{len(report['corrupt'])} corrupt artefact(s) quarantined; "
                     f"rerun `repro preprocess` to rebuild them")
-    return 1 if report["corrupt"] else 0
+    failures = _backend_selftest() if args.selftest else 0
+    if failures:
+        logger.warning(f"{failures} backend(s) failed the self-test")
+    return 1 if report["corrupt"] or failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -470,6 +550,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="kernel retries per request before degrading (default 2)")
     sv.add_argument("--deadline", type=float, default=None,
                     help="per-request deadline in seconds (default: none)")
+    sv.add_argument("--breakers", action="store_true",
+                    help="install per-backend circuit breakers around every "
+                         "kernel call (repro.pipeline.guard)")
+    sv.add_argument("--breaker-threshold", type=int, default=None,
+                    help="consecutive failures before a breaker opens "
+                         "(default 5, or REPRO_BREAKER_THRESHOLD)")
+    sv.add_argument("--breaker-cooldown", type=float, default=None,
+                    help="seconds an open breaker rejects calls before its "
+                         "half-open probe (default 5.0, or REPRO_BREAKER_COOLDOWN)")
+    sv.add_argument("--max-queue-depth", type=int, default=None,
+                    help="admission control: shed micro-batch submissions "
+                         "beyond this queue depth (OverloadError)")
+    sv.add_argument("--shed-deadline", type=float, default=None,
+                    help="admission control: shed requests whose estimated "
+                         "completion (live p95) exceeds this many seconds")
     sv.add_argument("--metrics-file", default=None,
                     help="export request metrics here (.json snapshot, or "
                          ".prom Prometheus text)")
@@ -501,6 +596,9 @@ def build_parser() -> argparse.ArgumentParser:
     dr = sub.add_parser("doctor",
                         help="fsck a cache directory: verify checksums, quarantine corrupt entries")
     dr.add_argument("--cache-dir", default=".repro-cache")
+    dr.add_argument("--selftest", action="store_true",
+                    help="additionally run a tiny operand through every "
+                         "compressible backend under a scoped breaker board")
     dr.set_defaults(fn=_cmd_doctor)
     return p
 

@@ -110,6 +110,14 @@ class Aggregator:
             # kernels; surface the block layout and per-backend coverage.
             if getattr(plan, "backend", None) == "segmented":
                 report["segments"] = plan.summary()
+        # With a breaker board installed, its per-backend state rides along
+        # — an operator may look healthy while its fast backend is cooling
+        # down behind an open breaker.
+        from ..pipeline.guard import active_breakers
+
+        board = active_breakers()
+        if board is not None:
+            report["breakers"] = board.snapshot()
         return report
 
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import logging
 import math
 import os
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
@@ -148,6 +149,14 @@ def _job(args) -> ReorderSummary:
         # Injected hard crash: the worker dies, breaking the pool so the
         # parent's resubmission path runs.  Never taken outside inject().
         os._exit(13)
+    if fault == "hang":
+        # Injected hang: the worker wedges (far past any reasonable job
+        # timeout) so the parent's hung-worker watchdog runs.  Bounded so a
+        # watchdog-less caller still terminates eventually.
+        import time as _time
+
+        _time.sleep(float(os.environ.get("REPRO_FAULT_HANG_SECONDS", "30")))
+        raise RuntimeError(f"injected worker hang on job {index} timed out")
     if fault == "raise":
         raise RuntimeError(f"injected worker fault on job {index}")
     bm = _materialize(payload)
@@ -210,6 +219,7 @@ def reorder_many(
     chunk_size: int | None = None,
     return_exceptions: bool = False,
     max_pool_restarts: int = 2,
+    job_timeout: float | None = None,
     **reorder_kwargs,
 ) -> list:
     """Reorder a batch of matrices in parallel worker processes.
@@ -237,6 +247,15 @@ def reorder_many(
     survives.  When a worker process dies (``BrokenProcessPool``), the
     pool is restarted and the lost jobs resubmitted up to
     ``max_pool_restarts`` times.
+
+    ``job_timeout`` arms the hung-worker watchdog: a chunk whose result
+    does not arrive within that many seconds is presumed wedged, the
+    worker processes are **killed** (``pool.restart(kill=True)`` — a hung
+    worker cannot be cancelled) and the lost jobs resubmitted under the
+    same ``max_pool_restarts`` budget.  ``None`` defaults to the borrowed
+    pool's :class:`~repro.perf.pool.SupervisionPolicy` ``job_timeout``
+    (so a supervised pool brings its own watchdog); with neither set,
+    chunk waits are unbounded — the pre-supervision behaviour.
     """
     from .pipeline import faults  # lazy: pipeline imports us
 
@@ -268,9 +287,9 @@ def reorder_many(
         with obs_trace.span("parallel.reorder_many", jobs=len(jobs), workers=1):
             results = []
             for job in jobs:
-                if job[-1] == "exit":
-                    # Inline mode has no worker process to kill; degrade the
-                    # injected hard crash to a soft failure.
+                if job[-1] in ("exit", "hang"):
+                    # Inline mode has no worker process to kill (or watch);
+                    # degrade the injected hard crash/hang to a soft failure.
                     job = job[:-1] + ("raise",)
                 try:
                     results.append(_job(job))
@@ -306,6 +325,10 @@ def reorder_many(
     owns_pool = pool is None
     if owns_pool:
         pool = WorkerPool(workers)
+    if job_timeout is None:
+        supervision = getattr(pool, "supervision", None)
+        if supervision is not None:
+            job_timeout = supervision.job_timeout
     try:
         with obs_trace.span(
             "parallel.reorder_many", jobs=len(jobs), workers=workers,
@@ -316,15 +339,26 @@ def reorder_many(
             restarts = 0
             while pending:
                 lost: list[int] = []
+                hung = False
                 futures = {}
                 for at in range(0, len(pending), chunk):
                     indices = pending[at:at + chunk]
                     futures[pool.submit(_job_chunk, [jobs[i] for i in indices])] = indices
                 for fut, indices in futures.items():
                     try:
-                        outcomes = fut.result()
+                        outcomes = fut.result(timeout=job_timeout)
                     except BrokenProcessPool:
                         lost.extend(indices)
+                        continue
+                    except FuturesTimeoutError:
+                        # Hung worker: the chunk's jobs are lost and the
+                        # worker holding them must be killed, not joined.
+                        hung = True
+                        lost.extend(indices)
+                        logger.warning(
+                            "reorder chunk %s exceeded the %.3fs job timeout; "
+                            "presuming the worker hung", indices, job_timeout,
+                        )
                         continue
                     for i, outcome in zip(indices, outcomes):
                         if outcome[0] == "ok":
@@ -339,10 +373,10 @@ def reorder_many(
                 restarts += 1
                 if restarts > max_pool_restarts:
                     raise _crash_error(lost[0], BrokenProcessPool(
-                        f"worker pool broke {restarts} time(s); "
+                        f"worker pool broke or hung {restarts} time(s); "
                         f"{len(lost)} job(s) could not be completed"
                     ))
-                pool.restart()
+                pool.restart(kill=hung)
                 # Resubmit the lost jobs, stripping any injected fault
                 # directive so the retry runs clean.
                 for i in sorted(lost):

@@ -21,7 +21,9 @@ Five pieces, each consumed by the existing stack rather than replacing it:
   (:class:`SharedMatrixBatch`, used by :func:`repro.parallel.reorder_many`);
 * :mod:`repro.perf.pool` — :class:`WorkerPool`, a persistent, restartable
   process pool with an explicit lifecycle, reused across
-  ``reorder_many`` / ``preprocess_many`` calls (CLI ``--pool``);
+  ``reorder_many`` / ``preprocess_many`` calls (CLI ``--pool``), supervised
+  by a :class:`SupervisionPolicy` (job timeouts, hung-worker kills,
+  windowed crash-loop caps);
 * :mod:`repro.perf.batching` — :class:`MicroBatcher` + :class:`BatchPolicy`,
   the bounded coalescing queue behind
   :meth:`repro.pipeline.serving.ServingSession.submit`.
@@ -32,7 +34,7 @@ scaling benchmark (`benchmarks/bench_parallel_scaling.py`).
 
 from .batching import BatchPolicy, MicroBatcher
 from .engine import ExecutionPlan, build_plan, plan_for
-from .pool import PoolStats, WorkerPool
+from .pool import PoolStats, SupervisionPolicy, WorkerPool
 from .segment import (
     RowSegment,
     RowSegmenter,
@@ -59,6 +61,7 @@ __all__ = [
     "TunerDecision",
     "tune",
     "PoolStats",
+    "SupervisionPolicy",
     "WorkerPool",
     "MatrixHandle",
     "SharedMatrixBatch",

@@ -99,19 +99,28 @@ class MicroBatcher:
         """Enqueue one request; returns its future.
 
         Validation runs here, synchronously — a malformed request raises in
-        the caller and never reaches a batch.  Blocks when the queue is at
-        ``capacity`` until the flusher drains it.
+        the caller and never reaches a batch.  When the session has an
+        :class:`~repro.pipeline.guard.AdmissionPolicy`, it is consulted
+        here too: a request past the queue-depth bound, or whose estimated
+        completion (live latency p95) misses the deadline, raises
+        :class:`~repro.pipeline.resilience.OverloadError` immediately —
+        shed at the door, before any queueing.  Otherwise blocks when the
+        queue is at ``capacity`` until the flusher drains it.
         """
         x2, squeeze = self._session._validate_features(x)
         item = _Pending(x2, squeeze)
+        admission = getattr(self._session, "admission", None)
         with self._lock:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed")
+            if admission is not None:
+                self._admit_locked(admission)
             while len(self._pending) >= self.policy.capacity:
                 self._space.wait()
                 if self._closed:
                     raise RuntimeError("MicroBatcher is closed")
             self._pending.append(item)
+            self._observe_depth_locked()
             if self._thread is None:
                 self._thread = threading.Thread(
                     target=self._loop, name="repro-microbatch", daemon=True
@@ -125,21 +134,94 @@ class MicroBatcher:
         while True:
             with self._lock:
                 batch = self._take_locked()
+                self._observe_depth_locked()
                 self._space.notify_all()
             if not batch:
                 return
             self._run_batch(batch)
 
-    def close(self) -> None:
-        """Flush the queue, stop the flusher thread, refuse new requests."""
+    def close(self, drain: bool = True) -> None:
+        """Stop the flusher thread and refuse new requests.
+
+        ``drain=True`` serves everything still queued (on the calling
+        thread) before shutdown; ``drain=False`` abandons the queue,
+        resolving pending futures with
+        :class:`~repro.pipeline.resilience.OverloadError` (reason
+        ``closed``).  In every case — including a drain whose flush itself
+        raises — no queued future is left unresolved, so a caller blocked
+        on ``.result()`` can never hang on a closed batcher.
+        """
         with self._lock:
             self._closed = True
             self._wake.notify_all()
             self._space.notify_all()
             thread = self._thread
-        self.flush()
-        if thread is not None:
-            thread.join(timeout=5.0)
+        try:
+            if drain:
+                self.flush()
+            else:
+                from ..pipeline.resilience import OverloadError  # lazy: cycle
+
+                self._abort_pending(OverloadError(
+                    "MicroBatcher closed without draining; request abandoned",
+                    reason="closed",
+                ))
+        except BaseException as exc:
+            # The drain itself failed: the error propagates to the closer,
+            # but every still-queued future gets it too (satellite fix —
+            # a raising flush used to leave them forever-pending).
+            self._abort_pending(exc)
+            raise
+        finally:
+            if thread is not None:
+                thread.join(timeout=5.0)
+            self._abort_pending(RuntimeError(
+                "MicroBatcher closed with unserved requests"))
+
+    def _abort_pending(self, exc: BaseException) -> None:
+        """Resolve every queued future with ``exc`` (no-op when empty)."""
+        with self._lock:
+            abandoned = list(self._pending)
+            self._pending.clear()
+            self._observe_depth_locked()
+            self._space.notify_all()
+        for item in abandoned:
+            if not item.future.done():
+                item.future.set_exception(exc)
+
+    def _admit_locked(self, admission) -> None:
+        """Apply the session's admission policy; sheds raise OverloadError."""
+        from ..pipeline.resilience import OverloadError  # lazy: cycle
+
+        session = self._session
+        latency = session._m_latency if session._metrics is not None else None
+        try:
+            admission.admit(
+                depth=len(self._pending),
+                latency=latency,
+                batch_size=self.policy.max_requests,
+            )
+        except OverloadError as exc:
+            from ..obs import events as obs_events
+
+            reason = exc.context.get("reason", "unknown")
+            if session._metrics is not None:
+                session._metrics.counter(
+                    "serve_shed_total",
+                    help="requests rejected by admission control",
+                    reason=reason,
+                ).inc()
+            obs_events.emit("serve.shed", reason=reason,
+                            depth=len(self._pending))
+            logger.debug("request shed (%s): %s", reason, exc)
+            raise
+
+    def _observe_depth_locked(self) -> None:
+        session = self._session
+        if session._metrics is not None:
+            session._metrics.gauge(
+                "serve_queue_depth", help="requests queued for micro-batching"
+            ).set(float(len(self._pending)))
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -210,9 +292,15 @@ class MicroBatcher:
                         break
                     self._wake.wait(remaining)
                 batch = self._take_locked()
+                self._observe_depth_locked()
                 self._space.notify_all()
             if batch:
-                self._run_batch(batch)
+                try:
+                    self._run_batch(batch)
+                except Exception:  # noqa: BLE001 - futures already carry it
+                    # The batch's futures were resolved with the error by
+                    # _run_batch; the flusher thread itself keeps serving.
+                    logger.exception("micro-batch flusher survived a batch error")
 
     def _resolve(self, item: _Pending, out: np.ndarray) -> None:
         session = self._session
@@ -223,6 +311,23 @@ class MicroBatcher:
         item.future.set_result(out[:, 0] if item.squeeze else np.ascontiguousarray(out))
 
     def _run_batch(self, batch: list[_Pending]) -> None:
+        """Serve one batch, guaranteeing its futures resolve.
+
+        :meth:`_run_batch_inner` already routes per-request failures to
+        their futures; this wrapper covers what escapes it (keyboard
+        interrupt mid-drain, a resolve-path bug) — the batch's unresolved
+        futures get the error before it propagates, so no caller blocked on
+        ``.result()`` outlives the batch that carried its request.
+        """
+        try:
+            self._run_batch_inner(batch)
+        except BaseException as exc:
+            for item in batch:
+                if not item.future.done():
+                    item.future.set_exception(exc)
+            raise
+
+    def _run_batch_inner(self, batch: list[_Pending]) -> None:
         from ..pipeline import faults  # lazy: pipeline imports repro.perf users
 
         session = self._session

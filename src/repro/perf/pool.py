@@ -17,15 +17,31 @@ the resubmission machinery in ``reorder_many`` drives this), and owns an
 explicit ``close()``/context-manager lifecycle so tests and CLIs never
 leak worker processes.  :attr:`stats` counts spawns/jobs/restarts for the
 observability layer and the scaling benchmark.
+
+Supervision (:class:`SupervisionPolicy`) adds the watchdog a serving
+deployment needs: :meth:`run` bounds each job with a timeout, a hung
+worker is **killed** (``restart(kill=True)`` terminates the worker
+processes outright — ``shutdown`` alone would wait on them forever) and
+the job resubmitted, and a windowed restart cap turns a crash-looping pool
+into a :class:`~repro.pipeline.resilience.WorkerCrashError` instead of an
+infinite kill/respawn cycle.  All lifecycle transitions are guarded by an
+``RLock``: the micro-batcher's flush timer (or any other thread) can drive
+submissions concurrently with the owning thread's restarts.
 """
 
 from __future__ import annotations
 
 import logging
+import threading
+import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 
-__all__ = ["PoolStats", "WorkerPool"]
+from ..obs.metrics import default_registry
+
+__all__ = ["PoolStats", "SupervisionPolicy", "WorkerPool"]
 
 logger = logging.getLogger("repro.perf.pool")
 
@@ -37,6 +53,40 @@ class PoolStats:
     spawns: int = 0
     restarts: int = 0
     jobs: int = 0
+    timeouts: int = 0
+    kills: int = 0
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Watchdog knobs for a supervised :class:`WorkerPool`.
+
+    ``job_timeout`` bounds one job's wall-clock seconds before the worker
+    is presumed hung (``None`` disables the watchdog).  ``max_restarts``
+    within ``restart_window`` seconds is the crash-loop cap: one more
+    restart inside the window raises
+    :class:`~repro.pipeline.resilience.WorkerCrashError` instead of
+    respawning — a pool whose workers die on arrival must surface, not
+    burn CPU forever.  ``backoff`` sleeps ``backoff * 2**k`` (capped at
+    ``max_backoff``) before the k-th restart in the current window, giving
+    a transiently-sick host room to recover.
+    """
+
+    job_timeout: float | None = None
+    max_restarts: int = 16
+    restart_window: float = 60.0
+    backoff: float = 0.0
+    max_backoff: float = 1.0
+
+    def __post_init__(self):
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError("job_timeout must be positive (or None)")
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if self.restart_window <= 0:
+            raise ValueError("restart_window must be positive")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff values must be non-negative")
 
 
 def _noop() -> None:
@@ -44,15 +94,25 @@ def _noop() -> None:
 
 
 class WorkerPool:
-    """Lazily-spawned, restartable, explicitly-closed process pool."""
+    """Lazily-spawned, restartable, explicitly-closed process pool.
 
-    def __init__(self, n_workers: int | None = None, *, mp_context=None):
+    Thread-safe: every lifecycle transition (spawn, submit, restart,
+    close) holds one reentrant lock, so a flush-timer thread submitting
+    while the main thread restarts after a crash can never race a
+    half-built executor.
+    """
+
+    def __init__(self, n_workers: int | None = None, *, mp_context=None,
+                 supervision: SupervisionPolicy | None = None):
         from ..parallel import default_workers  # lazy: parallel imports us
 
         self.n_workers = default_workers() if n_workers is None else max(1, n_workers)
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._closed = False
+        self._lock = threading.RLock()
+        self.supervision = supervision or SupervisionPolicy()
+        self._restart_times: deque[float] = deque()
         self.stats = PoolStats()
 
     # -- lifecycle ---------------------------------------------------------
@@ -62,14 +122,15 @@ class WorkerPool:
         return self._executor is not None
 
     def _ensure(self) -> ProcessPoolExecutor:
-        if self._closed:
-            raise RuntimeError("WorkerPool is closed")
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.n_workers, mp_context=self._mp_context
-            )
-            self.stats.spawns += 1
-        return self._executor
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("WorkerPool is closed")
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.n_workers, mp_context=self._mp_context
+                )
+                self.stats.spawns += 1
+            return self._executor
 
     def warm(self) -> None:
         """Pre-spawn every worker so the first batch pays no startup cost."""
@@ -78,25 +139,106 @@ class WorkerPool:
 
     def submit(self, fn, /, *args, **kwargs):
         """Submit one job; spawns the executor on first use."""
-        self.stats.jobs += 1
-        return self._ensure().submit(fn, *args, **kwargs)
+        with self._lock:
+            executor = self._ensure()
+            self.stats.jobs += 1
+            return executor.submit(fn, *args, **kwargs)
 
-    def restart(self) -> None:
-        """Replace a broken executor with a fresh one (same size).
+    def run(self, fn, /, *args, timeout: float | None = None,
+            resubmit: int = 1, **kwargs):
+        """One supervised job: submit, bound by a timeout, kill + retry.
 
-        The old executor is shut down without waiting — its workers are
-        already dead or doomed; outstanding futures are cancelled.
+        ``timeout`` (default: the supervision policy's ``job_timeout``)
+        bounds the job's wall-clock seconds; on expiry the pool's workers
+        are killed and restarted (the hung one cannot be cancelled — it is
+        *running*) and the job resubmitted up to ``resubmit`` more times.
+        A job still hanging after the last attempt raises
+        :class:`~repro.pipeline.resilience.DeadlineExceeded`.  Worker
+        exceptions propagate as-is on the first attempt — supervision
+        guards against *hangs*, not against deterministic job errors.
         """
-        old, self._executor = self._executor, None
-        self.stats.restarts += 1
-        if old is not None:
-            old.shutdown(wait=False, cancel_futures=True)
-        logger.debug("worker pool restarted (restart #%d)", self.stats.restarts)
+        timeout = self.supervision.job_timeout if timeout is None else timeout
+        attempts = max(1, resubmit + 1) if timeout is not None else 1
+        for attempt in range(attempts):
+            future = self.submit(fn, *args, **kwargs)
+            try:
+                return future.result(timeout=timeout)
+            except FuturesTimeoutError:
+                self.stats.timeouts += 1
+                default_registry().counter(
+                    "pool_job_timeouts_total",
+                    help="supervised pool jobs that exceeded their timeout",
+                ).inc()
+                logger.warning(
+                    "pool job exceeded %.3fs timeout (attempt %d/%d); "
+                    "killing workers", timeout, attempt + 1, attempts,
+                )
+                self.restart(kill=True)
+        from ..pipeline.resilience import DeadlineExceeded  # lazy: cycle
+
+        raise DeadlineExceeded(
+            f"pool job still hung after {attempts} attempt(s) of "
+            f"{timeout:.3f}s each; workers killed",
+            attempts=attempts, deadline=timeout,
+        )
+
+    def restart(self, *, kill: bool = False) -> None:
+        """Replace the executor with a fresh one (same size).
+
+        ``kill=True`` terminates the old executor's worker processes
+        outright — the hung-worker path, where ``shutdown`` would block on
+        a job that never finishes.  ``kill=False`` (the broken-pool path)
+        just abandons them: they are already dead or doomed.  Either way
+        outstanding futures are cancelled.
+
+        Restarts are counted against the supervision policy's window;
+        exceeding ``max_restarts`` within ``restart_window`` seconds
+        raises :class:`~repro.pipeline.resilience.WorkerCrashError`
+        (crash-loop protection) *before* spawning yet another doomed
+        generation of workers.
+        """
+        policy = self.supervision
+        with self._lock:
+            now = time.monotonic()
+            while self._restart_times and now - self._restart_times[0] > policy.restart_window:
+                self._restart_times.popleft()
+            if len(self._restart_times) >= policy.max_restarts:
+                from ..pipeline.resilience import WorkerCrashError  # lazy: cycle
+
+                raise WorkerCrashError(
+                    f"worker pool crash-looping: {len(self._restart_times)} "
+                    f"restarts within {policy.restart_window:.0f}s "
+                    f"(cap {policy.max_restarts}); refusing to respawn",
+                    restarts=len(self._restart_times),
+                    window=policy.restart_window,
+                )
+            if policy.backoff:
+                delay = min(policy.backoff * 2 ** len(self._restart_times),
+                            policy.max_backoff)
+                time.sleep(delay)
+            self._restart_times.append(now)
+            old, self._executor = self._executor, None
+            self.stats.restarts += 1
+            if kill and old is not None:
+                self.stats.kills += 1
+                for proc in list(getattr(old, "_processes", {}).values()):
+                    if proc.is_alive():
+                        proc.terminate()
+            if old is not None:
+                old.shutdown(wait=False, cancel_futures=True)
+        default_registry().counter(
+            "pool_restarts_total", help="worker pool executor restarts",
+        ).inc()
+        logger.debug(
+            "worker pool restarted (restart #%d%s)",
+            self.stats.restarts, ", workers killed" if kill else "",
+        )
 
     def close(self) -> None:
         """Shut the workers down and refuse further submissions; idempotent."""
-        self._closed = True
-        old, self._executor = self._executor, None
+        with self._lock:
+            self._closed = True
+            old, self._executor = self._executor, None
         if old is not None:
             old.shutdown(wait=True)
 

@@ -14,12 +14,34 @@
   retry/backoff/deadline and backend fallback.
 * :mod:`repro.pipeline.resilience` — the shared error taxonomy
   (:class:`PipelineError` and friends) and :class:`RetryPolicy`.
+* :mod:`repro.pipeline.guard` — proactive serving guards: per-backend
+  circuit breakers (:class:`BreakerBoard`, consulted by ``run_kernel``)
+  and :class:`AdmissionPolicy` load shedding.
 * :mod:`repro.pipeline.faults` — deterministic fault injection
-  (:class:`FaultPlan` + :func:`inject`) for testing every recovery path.
+  (:class:`FaultPlan` + :func:`inject`) for testing every recovery path,
+  plus the seeded chaos harness (:class:`ChaosSchedule` +
+  :class:`ChaosInvariants`).
 """
 
 from .cache import ArtifactCache, CacheStats, adjacency_fingerprint, cache_key
-from .faults import FaultEvent, FaultPlan, InjectedFault, inject
+from .faults import (
+    ChaosInvariants,
+    ChaosSchedule,
+    FaultEvent,
+    FaultPlan,
+    InjectedFault,
+    inject,
+)
+from .guard import (
+    AdmissionPolicy,
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    active_breakers,
+    breaker_scope,
+    disable_breakers,
+    enable_breakers,
+)
 from .preprocess import PreprocessPlan, PreprocessResult, preprocess, preprocess_many
 from .registry import (
     Backend,
@@ -38,8 +60,10 @@ from .registry import (
 from .resilience import (
     ArtifactCorruptError,
     BackendExecutionError,
+    CircuitOpenError,
     DeadlineExceeded,
     DowngradeEvent,
+    OverloadError,
     PipelineError,
     PreprocessError,
     ResilienceStats,
@@ -74,13 +98,25 @@ __all__ = [
     "PreprocessError",
     "ArtifactCorruptError",
     "BackendExecutionError",
+    "CircuitOpenError",
+    "OverloadError",
     "WorkerCrashError",
     "DeadlineExceeded",
     "RetryPolicy",
     "DowngradeEvent",
     "ResilienceStats",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "BreakerBoard",
+    "AdmissionPolicy",
+    "active_breakers",
+    "enable_breakers",
+    "disable_breakers",
+    "breaker_scope",
     "FaultPlan",
     "FaultEvent",
     "InjectedFault",
+    "ChaosSchedule",
+    "ChaosInvariants",
     "inject",
 ]

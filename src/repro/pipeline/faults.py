@@ -33,6 +33,8 @@ actually fired.
 
 from __future__ import annotations
 
+import random
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -41,6 +43,8 @@ __all__ = [
     "FaultPlan",
     "FaultEvent",
     "InjectedFault",
+    "ChaosSchedule",
+    "ChaosInvariants",
     "inject",
     "active_plan",
     "maybe_fail_kernel",
@@ -72,8 +76,9 @@ class FaultPlan:
     dispatches raise :class:`InjectedFault` before the backend "heals".
     ``cache_corruptions`` corrupts that many upcoming artefact reads by
     scribbling the file on disk.  ``worker_crashes`` maps a batch index to
-    ``"raise"`` or ``"exit"``; directives are consumed when the job is first
-    built, so jobs resubmitted after a pool break run clean.
+    ``"raise"``, ``"exit"``, or ``"hang"`` (the worker wedges until the
+    hung-worker watchdog kills it); directives are consumed when the job is
+    first built, so jobs resubmitted after a pool break run clean.
     ``shm_failures`` fails that many upcoming shared-memory segment
     creations (forcing ``reorder_many``'s pickled-payload fallback), and
     ``batch_crashes`` crashes that many upcoming coalesced SpMM batches
@@ -105,7 +110,7 @@ class FaultPlan:
     def take_worker_crash(self, index: int) -> str | None:
         action = self.worker_crashes.pop(index, None)
         if action is not None:
-            if action not in ("raise", "exit"):
+            if action not in ("raise", "exit", "hang"):
                 raise ValueError(f"unknown worker fault action {action!r}")
             self.events.append(FaultEvent("worker", str(index), action))
         return action
@@ -183,3 +188,153 @@ def worker_directive(index: int) -> str | None:
     if plan is None:
         return None
     return plan.take_worker_crash(index)
+
+
+# -- seeded chaos --------------------------------------------------------------
+
+@dataclass
+class ChaosSchedule(FaultPlan):
+    """A :class:`FaultPlan` drawn from one RNG seed across every fault site.
+
+    Deterministic per seed — the same seed always scripts the same faults,
+    so a chaos failure is replayed by re-running its seed — but *randomized
+    across seeds*: kernel failures on a random subset of backends, cache
+    corruptions, worker crash/exit/hang directives, shared-memory and batch
+    faults, all from one ``random.Random(seed)`` stream.  Build with
+    :meth:`draw` and activate with :func:`inject` like any plan; the
+    invariants a serving stack must hold under *any* schedule are checked
+    by :class:`ChaosInvariants` (the ``pytest -m chaos`` corpus).
+    """
+
+    seed: int = 0
+
+    @classmethod
+    def draw(
+        cls,
+        seed: int,
+        *,
+        backends: tuple[str, ...] = ("hybrid", "vnm", "nm", "bsr", "csr"),
+        n_jobs: int = 0,
+        max_kernel_failures: int = 4,
+        max_cache_corruptions: int = 2,
+        max_shm_failures: int = 1,
+        max_batch_crashes: int = 2,
+        worker_actions: tuple[str, ...] = ("raise", "exit", "hang"),
+        worker_crash_rate: float = 0.3,
+        kernel_failure_rate: float = 0.6,
+    ) -> "ChaosSchedule":
+        """Draw one schedule from ``seed``.
+
+        ``backends`` are the kernel-fault candidates; ``"dense"`` is always
+        excluded so every fallback ladder keeps a working terminal rung and
+        the invariant "every request resolves" stays satisfiable.
+        ``n_jobs`` sizes the worker-directive draw (0 = no worker faults).
+        """
+        rng = random.Random(seed)
+        plan = cls(seed=seed)
+        for backend in backends:
+            if backend == "dense":
+                continue
+            if rng.random() < kernel_failure_rate:
+                plan.kernel_failures[backend] = rng.randint(1, max_kernel_failures)
+        plan.cache_corruptions = rng.randint(0, max_cache_corruptions)
+        plan.shm_failures = rng.randint(0, max_shm_failures)
+        plan.batch_crashes = rng.randint(0, max_batch_crashes)
+        for index in range(n_jobs):
+            if rng.random() < worker_crash_rate:
+                plan.worker_crashes[index] = rng.choice(list(worker_actions))
+        return plan
+
+    def describe(self) -> dict:
+        """Compact summary for the invariant report (pre-consumption)."""
+        return {
+            "seed": self.seed,
+            "kernel_failures": dict(self.kernel_failures),
+            "cache_corruptions": self.cache_corruptions,
+            "worker_crashes": {str(k): v for k, v in self.worker_crashes.items()},
+            "shm_failures": self.shm_failures,
+            "batch_crashes": self.batch_crashes,
+        }
+
+
+class ChaosInvariants:
+    """What must hold under *any* :class:`ChaosSchedule`.
+
+    Three invariants, checked incrementally and summarized by
+    :meth:`report`:
+
+    1. **every future resolves** — a submitted request's future completes
+       within a bounded wait with either a bit-identical result or an
+       error from the :class:`~repro.pipeline.resilience.PipelineError`
+       taxonomy; a hang, a wrong result, or a foreign exception type is a
+       violation (:meth:`observe_future`);
+    2. **health converges** — after faults stop, serving recovers
+       (asserted by the test via :meth:`require`);
+    3. **nothing leaks** — no worker processes or shared-memory segments
+       survive the run (also via :meth:`require`).
+    """
+
+    def __init__(self):
+        self.outcomes: dict[str, int] = {}
+        self.violations: list[str] = []
+        self.checks = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def _count(self, outcome: str) -> str:
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        return outcome
+
+    def observe_future(self, future, expected, *, timeout: float = 30.0,
+                       label: str = "") -> str:
+        """Classify one submitted request's resolution; returns the outcome.
+
+        ``expected`` is the reference result the future must match
+        **bit-identically** when it succeeds.  Outcomes: ``"exact"``,
+        ``"taxonomy:<ErrorType>"`` (an acceptable classified failure), or
+        a recorded violation — ``"hang"``, ``"wrong_result"``,
+        ``"foreign_error:<Type>"``.
+        """
+        import numpy as np
+
+        from .resilience import PipelineError
+
+        self.checks += 1
+        try:
+            out = future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            self.violations.append(
+                f"{label or 'request'}: future did not resolve within "
+                f"{timeout:.0f}s (hang)")
+            return self._count("hang")
+        except PipelineError as exc:
+            return self._count(f"taxonomy:{type(exc).__name__}")
+        except BaseException as exc:  # noqa: BLE001 - classification is the point
+            self.violations.append(
+                f"{label or 'request'}: non-taxonomy error "
+                f"{type(exc).__name__}: {exc}")
+            return self._count(f"foreign_error:{type(exc).__name__}")
+        if np.array_equal(np.asarray(out), np.asarray(expected)):
+            return self._count("exact")
+        self.violations.append(
+            f"{label or 'request'}: result differs from the reference "
+            f"(not bit-identical)")
+        return self._count("wrong_result")
+
+    def require(self, condition: bool, message: str) -> bool:
+        """Record an arbitrary invariant check (convergence, leaks)."""
+        self.checks += 1
+        if not condition:
+            self.violations.append(message)
+        return bool(condition)
+
+    def report(self) -> dict:
+        """JSON-ready summary (the CI chaos job uploads these per seed)."""
+        return {
+            "ok": self.ok,
+            "checks": self.checks,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "violations": list(self.violations),
+        }

@@ -32,7 +32,7 @@ from ..sptc.sell import SellCSigma
 from ..sptc.spmm import csr_spmm, dense_spmm, nm_spmm, venom_spmm
 from ..sptc.tcgnn import TCGNNBlocked
 from ..sptc.venom import VNMCompressed
-from . import faults
+from . import faults, guard
 from .resilience import BackendExecutionError, PipelineError
 
 __all__ = [
@@ -150,22 +150,51 @@ def run_kernel(
     The ``serving`` pseudo-backend is exempt from wrapping: a
     :class:`~repro.pipeline.serving.ServingSession` runs its own retry /
     degradation cycle and already raises taxonomy (or validation) errors.
+
+    When a :class:`~repro.pipeline.guard.BreakerBoard` is installed
+    (:func:`~repro.pipeline.guard.enable_breakers`), this is also the
+    breaker choke point: an open breaker rejects the call with
+    :class:`~repro.pipeline.resilience.CircuitOpenError` before the kernel
+    runs, successes close the breaker, and kernel failures feed its
+    consecutive-failure count.  With no board installed the guard costs
+    one ``is None`` test.
     """
     if backend.name == "serving":
         return backend.spmm(a, b)
     fn = backend.spmm if kernel is None else kernel
+    board = guard.active_breakers()
+    if board is None:
+        try:
+            faults.maybe_fail_kernel(backend.name)
+            return fn(a, b)
+        except PipelineError:
+            raise
+        except Exception as exc:
+            raise BackendExecutionError(
+                f"backend {backend.name!r} kernel "
+                f"{(backend.kernel_name or backend.name)!r} failed: {exc}",
+                backend=backend.name,
+                kernel_name=backend.kernel_name or backend.name,
+            ) from exc
+    board.before_call(backend.name)
     try:
         faults.maybe_fail_kernel(backend.name)
-        return fn(a, b)
+        out = fn(a, b)
     except PipelineError:
+        # Already-classified errors (injected BackendExecutionError from the
+        # fault harness included) count as backend failures; other taxonomy
+        # errors passing through (cache, overload) do not implicate the kernel.
         raise
     except Exception as exc:
+        board.record_failure(backend.name)
         raise BackendExecutionError(
             f"backend {backend.name!r} kernel "
             f"{(backend.kernel_name or backend.name)!r} failed: {exc}",
             backend=backend.name,
             kernel_name=backend.kernel_name or backend.name,
         ) from exc
+    board.record_success(backend.name)
+    return out
 
 
 def dispatch_spmm(a: Any, b: np.ndarray) -> np.ndarray:

@@ -35,6 +35,8 @@ __all__ = [
     "PreprocessError",
     "ArtifactCorruptError",
     "BackendExecutionError",
+    "CircuitOpenError",
+    "OverloadError",
     "WorkerCrashError",
     "DeadlineExceeded",
     "RetryPolicy",
@@ -73,6 +75,27 @@ class BackendExecutionError(PipelineError):
 
     ``context['backend']`` / ``context['kernel_name']`` identify the failing
     kernel; the original exception is chained as ``__cause__``.
+    """
+
+
+class CircuitOpenError(BackendExecutionError):
+    """A backend's circuit breaker is open; the kernel call was skipped.
+
+    Subclasses :class:`BackendExecutionError` so the fallback ladder treats
+    a tripped breaker exactly like a failing kernel — but the serving layer
+    never *retries* it (retrying a skipped call cannot succeed until the
+    cooldown expires).  ``context['backend']`` names the guarded backend and
+    ``context['retry_after']`` is the remaining cooldown in seconds.
+    """
+
+
+class OverloadError(PipelineError):
+    """Admission control shed the request instead of queueing it to death.
+
+    Raised *before* any work is done — fast rejection is the contract —
+    when the serving queue is at its depth bound or the live p95 latency
+    says the request cannot meet its deadline.  ``context['reason']`` is
+    ``"queue_full"``, ``"deadline"``, or ``"closed"``.
     """
 
 
@@ -126,6 +149,7 @@ class RetryPolicy:
         fn: Callable[[], object],
         *,
         retry_on: tuple[type[BaseException], ...] = (PipelineError,),
+        give_up_on: tuple[type[BaseException], ...] = (),
         on_retry: Callable[[int, BaseException], None] | None = None,
         describe: str = "",
         sleep: Callable[[float], None] = time.sleep,
@@ -137,7 +161,11 @@ class RetryPolicy:
         attempts or the deadline run out, the last failure (or a
         :class:`DeadlineExceeded` chaining it) propagates.  ``on_retry`` is
         invoked once per retry with the 0-based attempt number and the
-        failure that triggered it.
+        failure that triggered it.  ``give_up_on`` carves exceptions back
+        *out* of ``retry_on``: a failure matching it propagates immediately
+        without burning the retry budget (e.g. :class:`CircuitOpenError` —
+        a skipped call cannot succeed until the breaker's cooldown expires,
+        so backing off and re-asking is pure added latency).
         """
         rng = random.Random(self.seed)
         start = clock()
@@ -152,6 +180,8 @@ class RetryPolicy:
             try:
                 return fn()
             except retry_on as exc:
+                if give_up_on and isinstance(exc, give_up_on):
+                    raise
                 if attempt == self.max_attempts - 1:
                     raise
                 delay = self.backoff_delay(attempt, rng)

@@ -31,9 +31,10 @@ from ..obs import events as obs_events
 from ..obs import trace as obs_trace
 from ..perf import engine as perf_engine
 from ..sptc.costmodel import CostModel
-from . import registry
+from . import guard, registry
 from .resilience import (
     BackendExecutionError,
+    CircuitOpenError,
     DeadlineExceeded,
     DowngradeEvent,
     ResilienceStats,
@@ -71,7 +72,12 @@ class ServingSession:
     ``batch_policy`` (a :class:`~repro.perf.batching.BatchPolicy`) tunes
     the micro-batched :meth:`submit` path — flush deadline, batch shape
     caps, queue capacity; ``None`` uses the defaults.  :meth:`spmm` is
-    unaffected either way.
+    unaffected either way.  ``admission`` (a
+    :class:`~repro.pipeline.guard.AdmissionPolicy`) adds load shedding to
+    :meth:`submit`: a request exceeding the queue-depth bound or whose
+    estimated completion (live ``spmm_latency_seconds`` p95) misses the
+    deadline is rejected immediately with
+    :class:`~repro.pipeline.resilience.OverloadError` instead of queueing.
 
     ``engine`` (default ``True``) routes kernels through
     :func:`repro.perf.engine.execute` — precompiled execution plans with
@@ -94,6 +100,7 @@ class ServingSession:
         retry_policy: RetryPolicy | None = None,
         metrics=None,
         batch_policy=None,
+        admission=None,
         engine: bool = True,
         precision: str = "float64",
     ):
@@ -104,6 +111,7 @@ class ServingSession:
         self.tag = tag
         self.retry_policy = retry_policy or RetryPolicy()
         self.resilience = ResilienceStats()
+        self.admission = admission
         self.original_backend = registry.backend_for(operand).name
         self.n_requests = 0
         self.modelled_seconds = 0.0
@@ -134,6 +142,10 @@ class ServingSession:
             self._m_residual = metrics.gauge(
                 "costmodel_residual",
                 help="mean relative residual of predicted vs measured kernel time",
+            )
+            self._m_drain = metrics.histogram(
+                "serve_drain_seconds",
+                help="time close(drain=True) spent resolving queued requests",
             )
 
     # -- constructors ------------------------------------------------------
@@ -286,9 +298,13 @@ class ServingSession:
             )
 
         try:
+            # CircuitOpenError is carved out of the retry budget: a skipped
+            # call cannot succeed until the breaker's cooldown expires, so
+            # the session degrades immediately with zero retries burned.
             return self.retry_policy.run(
                 lambda: self._execute(self.operand, x),
                 retry_on=(BackendExecutionError,),
+                give_up_on=(CircuitOpenError,),
                 on_retry=count_retry,
                 describe=f"serving spmm on backend {self.backend_name!r}",
             )
@@ -305,7 +321,18 @@ class ServingSession:
         only when the whole ladder fails does the original error propagate.
         """
         failed = registry.backend_for(self.operand).name
+        board = guard.active_breakers()
         for name in registry.fallback_chain(self.operand):
+            if board is not None and board.would_reject(name):
+                # An open rung cannot serve until its cooldown expires —
+                # step over it instead of paying a rebuild just to be
+                # rejected (a *half-open* rung is still tried: the ladder
+                # is exactly the probe traffic that can heal it).
+                obs_events.emit("serve.breaker_skip", backend=name,
+                                from_backend=failed)
+                logger.info(
+                    "fallback ladder skipping backend %r: breaker open", name)
+                continue
             try:
                 operand = registry.degrade(self.operand, name)
                 out = self._execute(operand, x)
@@ -359,11 +386,30 @@ class ServingSession:
         if self._batcher is not None:
             self._batcher.flush()
 
-    def close(self) -> None:
-        """Flush and shut down the micro-batcher; direct :meth:`spmm` still works."""
-        if self._batcher is not None:
-            self._batcher.close()
-            self._batcher = None
+    def close(self, drain: bool = True) -> None:
+        """Shut down the micro-batcher; direct :meth:`spmm` still works.
+
+        ``drain=True`` (the default) serves every queued :meth:`submit`
+        future before the batcher refuses new work — no caller is ever left
+        blocked on ``.result()``.  ``drain=False`` abandons the queue
+        instead: pending futures resolve with
+        :class:`~repro.pipeline.resilience.OverloadError` (reason
+        ``closed``).  Either way every queued future is resolved — even
+        when the final flush itself raises, the error is propagated *and*
+        delivered to the queued futures.  Drain time is observed on the
+        ``serve_drain_seconds`` histogram when metrics are enabled.
+        """
+        if self._batcher is None:
+            return
+        batcher, self._batcher = self._batcher, None
+        if self._metrics is None:
+            batcher.close(drain=drain)
+            return
+        t0 = time.perf_counter()
+        try:
+            batcher.close(drain=drain)
+        finally:
+            self._m_drain.observe(time.perf_counter() - t0)
 
     def __enter__(self) -> "ServingSession":
         return self

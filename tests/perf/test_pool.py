@@ -1,10 +1,12 @@
-"""WorkerPool: lazy spawn, warm reuse, restart, and close semantics."""
+"""WorkerPool: lazy spawn, warm reuse, restart, close, and supervision."""
 
 import os
+import threading
+import time
 
 import pytest
 
-from repro.perf.pool import PoolStats, WorkerPool
+from repro.perf.pool import PoolStats, SupervisionPolicy, WorkerPool
 
 
 def _square(x):
@@ -13,6 +15,10 @@ def _square(x):
 
 def _pid():
     return os.getpid()
+
+
+def _sleep_forever():
+    time.sleep(60.0)
 
 
 class TestLifecycle:
@@ -68,3 +74,120 @@ class TestLifecycle:
         assert "warm" in repr(pool)
         pool.close()
         assert "closed" in repr(pool)
+
+
+class TestThreadSafety:
+    def test_concurrent_submit_and_restart(self):
+        """Satellite fix: the micro-batcher flush timer drives submissions
+        from another thread while the owner restarts — the RLock must keep
+        every job on a live executor (no race on a half-built one)."""
+        errors = []
+        with WorkerPool(2) as pool:
+            pool.warm()
+            stop = threading.Event()
+
+            def submitter():
+                while not stop.is_set():
+                    try:
+                        assert pool.submit(_square, 3).result(timeout=30) == 9
+                    except Exception as exc:  # noqa: BLE001 - collected for assert
+                        # A submission caught mid-restart may land on the
+                        # cancelled executor; that surfaces as BrokenProcessPool
+                        # or CancelledError, never as a deadlock or crash of
+                        # the pool itself.
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=submitter) for _ in range(3)]
+            for t in threads:
+                t.start()
+            for _ in range(3):
+                time.sleep(0.02)
+                pool.restart()
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+                assert not t.is_alive()
+            # The pool itself must still work after the churn.
+            assert pool.submit(_square, 4).result(timeout=30) == 16
+
+    def test_single_spawn_under_concurrent_first_submits(self):
+        with WorkerPool(2) as pool:
+            barrier = threading.Barrier(4)
+
+            def first_submit():
+                barrier.wait()
+                pool.submit(_square, 2).result(timeout=30)
+
+            threads = [threading.Thread(target=first_submit) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert pool.stats.spawns == 1
+
+
+class TestSupervision:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(job_timeout=0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(max_restarts=0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(restart_window=-1)
+
+    def test_run_returns_result_without_timeout_drama(self):
+        with WorkerPool(1, supervision=SupervisionPolicy(job_timeout=30.0)) as pool:
+            assert pool.run(_square, 6) == 36
+            assert pool.stats.timeouts == 0
+
+    def test_hung_job_is_killed_and_resubmitted(self):
+        from repro.pipeline.resilience import DeadlineExceeded
+
+        policy = SupervisionPolicy(job_timeout=0.3)
+        with WorkerPool(1, supervision=policy) as pool:
+            pool.warm()
+            with pytest.raises(DeadlineExceeded):
+                pool.run(_sleep_forever, resubmit=1)
+            assert pool.stats.timeouts == 2  # original + one resubmission
+            assert pool.stats.kills == 2
+            # The pool recovered: fresh workers serve the next job.
+            assert pool.run(_square, 5, timeout=30.0) == 25
+
+    def test_kill_restart_terminates_worker_processes(self):
+        with WorkerPool(1) as pool:
+            pid = pool.submit(_pid).result()
+            pool.submit(_sleep_forever)  # wedge the worker
+            time.sleep(0.1)
+            pool.restart(kill=True)
+            assert pool.stats.kills == 1
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    break  # the hung worker is gone
+                time.sleep(0.02)
+            else:
+                pytest.fail(f"killed worker {pid} still alive")
+            assert pool.submit(_pid).result(timeout=30) != pid
+
+    def test_crash_loop_cap_raises_worker_crash_error(self):
+        from repro.pipeline.resilience import WorkerCrashError
+
+        policy = SupervisionPolicy(max_restarts=3, restart_window=60.0)
+        with WorkerPool(1, supervision=policy) as pool:
+            for _ in range(3):
+                pool.restart()
+            with pytest.raises(WorkerCrashError) as exc_info:
+                pool.restart()
+            assert exc_info.value.context["restarts"] == 3
+            assert pool.stats.restarts == 3  # the capped one never happened
+
+    def test_restart_window_expires(self):
+        policy = SupervisionPolicy(max_restarts=2, restart_window=0.1)
+        with WorkerPool(1, supervision=policy) as pool:
+            pool.restart()
+            pool.restart()
+            time.sleep(0.15)  # the window slides past the earlier restarts
+            pool.restart()
+            assert pool.stats.restarts == 3
