@@ -12,9 +12,12 @@ Usage::
                           [--breakers] [--breaker-threshold N] [--breaker-cooldown S]
                           [--max-queue-depth N] [--shed-deadline SECONDS]
                           [--metrics-file M.json] [--trace-file T.json] [--segmented]
+                          [--telemetry-port P] [--slo SPEC] [--hold SECONDS]
+    python -m repro top [--url http://127.0.0.1:9464] [--interval S] [--frames N]
     python -m repro tune INPUT.mtx --cache-dir DIR [--h 64] [--repeats N]
                           [--float32] [--segmented]
     python -m repro stats [--metrics-file M.json] [--cache-dir DIR]
+                          [--trace-file T.json [--chrome-out C.json]]
     python -m repro doctor --cache-dir DIR [--selftest]
 
 ``reorder`` writes the reordered (still symmetric) matrix and prints the
@@ -29,9 +32,15 @@ the run's span tree); ``serve`` answers SpMM requests from those artefacts
 ``--micro-batch`` coalescing requests through the bounded queue,
 ``--breakers`` guarding every kernel call with per-backend circuit
 breakers, ``--max-queue-depth`` / ``--shed-deadline`` shedding overload at
-admission — see ``docs/resilience.md``) and
+admission — see ``docs/resilience.md``, ``--telemetry-port`` starting the
+live telemetry plane — ``/metrics``, ``/healthz``, ``/readyz``,
+``/debug/requests`` plus the request flight recorder, with ``--slo``
+declaring burn-rate objectives and ``--hold`` keeping the server
+scrapeable after the demo requests — see ``docs/telemetry.md``) and
 verifies the output against the dense reference,
-optionally exporting metrics/trace files; ``tune`` micro-benchmarks every
+optionally exporting metrics/trace files; ``top`` polls a telemetry
+server's ``/metrics`` and renders a live qps / windowed-p95 / row-share /
+breaker / SLO-burn frame per interval; ``tune`` micro-benchmarks every
 backend kernel on the preprocessed operand and persists the winning
 (backend, dtype) decision in the cache — rerunning the same workload is a
 cache hit; ``--segmented`` (preprocess / serve / tune) compiles
@@ -39,7 +48,9 @@ row-segmented execution plans — conforming row blocks on the SPTC path,
 the violating tail on a fallback sub-plan — and for ``tune`` adds those
 plans as candidates; ``stats`` pretty-prints a metrics
 export and/or cache-directory statistics (including persisted tuner
-decisions and segmented plan sidecars); ``doctor`` fsck-checks a cache
+decisions and segmented plan sidecars), and with ``--trace-file`` renders
+a span-tree export (``--chrome-out`` converts it to Chrome trace-event
+JSON for chrome://tracing or Perfetto); ``doctor`` fsck-checks a cache
 directory, quarantining corrupt artefacts and cleaning half-written temp
 files, and with ``--selftest`` runs a tiny operand through every
 compressible backend under a scoped breaker board.
@@ -55,6 +66,7 @@ import argparse
 import json
 import logging
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -198,7 +210,44 @@ def _cmd_serve(args) -> int:
         enable_breakers,
     )
 
-    metrics = MetricsRegistry() if args.metrics_file else None
+    # The telemetry plane needs a live registry even without --metrics-file.
+    metrics = (MetricsRegistry()
+               if args.metrics_file or args.telemetry_port is not None
+               else None)
+
+    telemetry = None
+    recorder = None
+    latency_window = None
+    holder: dict = {}  # the session, once built, for /healthz
+    if args.telemetry_port is not None:
+        from .obs import (
+            SLO,
+            FlightRecorder,
+            MetricWindows,
+            SLOEvaluator,
+            TelemetryServer,
+            session_health,
+            set_recorder,
+        )
+
+        try:
+            slos = [SLO.parse(spec) for spec in (args.slo or [])]
+        except ValueError as exc:
+            logger.error(f"bad --slo spec: {exc}")
+            return 2
+        windows = MetricWindows(metrics)
+        recorder = FlightRecorder()
+        evaluator = SLOEvaluator(slos, windows) if slos else None
+        # Load shedding consults the rolling p95, not the lifetime one.
+        latency_window = windows.histogram_view("spmm_latency_seconds", 60.0)
+        telemetry = TelemetryServer(
+            metrics, port=args.telemetry_port, windows=windows,
+            evaluator=evaluator, recorder=recorder,
+            health=lambda: session_health(holder.get("session")),
+        ).start()
+        set_recorder(recorder)  # crash_dump / SIGUSR1 find it
+        logger.info(f"telemetry: {telemetry.url}/metrics  /healthz  /readyz  "
+                    f"/debug/requests  (try `repro top --url {telemetry.url}`)")
 
     if args.breakers:
         # The board shares the serve run's registry so breaker gauges and
@@ -222,8 +271,12 @@ def _cmd_serve(args) -> int:
         )
         policy = RetryPolicy(max_attempts=args.max_retries + 1, deadline=args.deadline)
         session = ServingSession.from_result(
-            result, retry_policy=policy, metrics=metrics, admission=admission
+            result, retry_policy=policy, metrics=metrics, admission=admission,
+            recorder=recorder, latency_window=latency_window,
         )
+        holder["session"] = session
+        if telemetry is not None:
+            telemetry.set_ready()  # /readyz flips once the session can serve
 
         # Integer-valued features keep every partial sum exact, so the served
         # output must match the dense reference bitwise, not just approximately.
@@ -253,12 +306,28 @@ def _cmd_serve(args) -> int:
             logger.info(f"served {args.requests} request(s) micro-batched")
         return session, ok
 
-    if args.trace_file:
-        with use_tracer() as tracer:
+    try:
+        if args.trace_file:
+            with use_tracer() as tracer:
+                session, ok = run()
+        else:
+            tracer = None
             session, ok = run()
-    else:
-        tracer = None
-        session, ok = run()
+
+        if telemetry is not None and args.hold:
+            logger.info(f"holding for {args.hold:g}s for scrapes "
+                        f"(`repro top --url {telemetry.url}`; ctrl-c to stop)")
+            try:
+                time.sleep(args.hold)
+            except KeyboardInterrupt:
+                logger.info("hold interrupted; shutting down")
+    finally:
+        if telemetry is not None:
+            from .obs import set_recorder
+
+            telemetry.set_ready(False)
+            telemetry.stop()
+            set_recorder(None)
 
     cm = session.cost_model
     t_csr = cm.time_csr_spmm(SpmmWorkload.from_csr(graph.csr(), args.h))
@@ -289,7 +358,7 @@ def _cmd_serve(args) -> int:
         ) or "no backends guarded yet"
         logger.info(f"breakers: {states}")
 
-    if metrics is not None:
+    if metrics is not None and args.metrics_file:
         path = Path(args.metrics_file)
         if path.suffix == ".prom":
             path.write_text(metrics.to_prometheus())
@@ -301,6 +370,114 @@ def _cmd_serve(args) -> int:
         path.write_text(json.dumps(tracer.to_dicts(), indent=2) + "\n")
         logger.info(f"wrote trace to {path}")
     return 0 if ok else 1
+
+
+_BREAKER_STATE_NAMES = {0.0: "closed", 1.0: "half_open", 2.0: "open"}
+
+
+def _scrape_json(url: str, timeout: float = 5.0):
+    """GET a JSON endpoint, returning the payload even on a 503 verdict."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.load(resp)
+    except urllib.error.HTTPError as exc:  # /healthz 503 still carries JSON
+        try:
+            return json.loads(exc.read().decode() or "{}")
+        except (ValueError, OSError):
+            return None
+    except (OSError, ValueError):
+        return None
+
+
+def _top_frame(samples: dict, health: dict | None) -> str:
+    """Render one `repro top` frame from parsed /metrics samples."""
+
+    def first(name: str, **match):
+        for labels, value in samples.get(name, []):
+            if all(labels.get(k) == v for k, v in match.items()):
+                return value
+        return None
+
+    lines = []
+    qps = first("serve_requests_rate", window="60s")
+    p95 = first("spmm_latency_seconds_p95", window="60s")
+    depth = first("serve_queue_depth")
+    head = [f"qps(60s) {qps:8.1f}" if qps is not None else "qps(60s)      n/a"]
+    head.append(f"p95(60s) {_fmt_seconds(p95)}" if p95 is not None
+                else "p95(60s) n/a")
+    if depth is not None:
+        head.append(f"queue {int(depth)}")
+    if health is not None:
+        head.append("healthy" if health.get("healthy") else
+                    "UNHEALTHY (" + ", ".join(health.get("open_breakers", []))
+                    + (" pool-crash-loop" if health.get("pool_crash_looping")
+                       else "") + ")")
+    lines.append("  ".join(head))
+
+    rows = samples.get("serve_path_rows_total", [])
+    total_rows = sum(v for _, v in rows)
+    if total_rows > 0:
+        share = "  ".join(
+            f"{labels.get('backend', '?')} {value / total_rows:6.1%}"
+            for labels, value in sorted(rows,
+                                        key=lambda s: -s[1])
+        )
+        lines.append(f"rows by path: {share}")
+
+    breakers = samples.get("breaker_state", [])
+    if breakers:
+        states = "  ".join(
+            f"{labels.get('backend', '?')}="
+            f"{_BREAKER_STATE_NAMES.get(value, value)}"
+            for labels, value in sorted(breakers, key=lambda s: str(s[0]))
+        )
+        lines.append(f"breakers: {states}")
+
+    burns = samples.get("slo_burn_rate", [])
+    if burns:
+        by_slo: dict[str, dict] = {}
+        for labels, value in burns:
+            by_slo.setdefault(labels.get("slo", "?"), {})[
+                labels.get("window", "?")] = value
+        text = "  ".join(
+            f"{slo} fast={windows.get('fast', 0.0):.2f} "
+            f"slow={windows.get('slow', 0.0):.2f}"
+            for slo, windows in sorted(by_slo.items())
+        )
+        lines.append(f"slo burn: {text}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import urllib.request
+
+    from .obs import parse_prometheus
+
+    url = args.url.rstrip("/")
+    frame = 0
+    while args.frames is None or frame < args.frames:
+        if frame:
+            time.sleep(args.interval)
+        frame += 1
+        try:
+            with urllib.request.urlopen(f"{url}/metrics", timeout=5) as resp:
+                body = resp.read().decode()
+        except (OSError, ValueError) as exc:
+            logger.error(f"scrape of {url}/metrics failed: {exc}")
+            return 1
+        _, samples = parse_prometheus(body)
+        health = _scrape_json(f"{url}/healthz")
+        # A live screen, not a log line: top owns the terminal like its
+        # namesake (the only CLI path that prints to stdout directly).
+        if not args.no_clear and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(f"repro top — {url}  (frame {frame})")
+        print(_top_frame(samples, health))
+        sys.stdout.flush()
+    return 0
 
 
 def _cmd_tune(args) -> int:
@@ -343,9 +520,27 @@ def _fmt_seconds(value: float) -> str:
 
 
 def _cmd_stats(args) -> int:
-    if not args.metrics_file and not args.cache_dir:
-        logger.warning("stats: pass --metrics-file and/or --cache-dir")
+    if not args.metrics_file and not args.cache_dir and not args.trace_file:
+        logger.warning("stats: pass --metrics-file, --cache-dir and/or --trace-file")
         return 2
+    if args.chrome_out and not args.trace_file:
+        logger.warning("stats: --chrome-out needs --trace-file")
+        return 2
+    if args.trace_file:
+        from .obs import SpanRecord, render_tree, to_chrome_trace
+
+        payload = json.loads(Path(args.trace_file).read_text())
+        roots = [SpanRecord.from_dict(d)
+                 for d in (payload if isinstance(payload, list) else [payload])]
+        if args.chrome_out:
+            chrome = to_chrome_trace(roots)
+            Path(args.chrome_out).write_text(json.dumps(chrome) + "\n")
+            logger.info(
+                f"wrote {len(chrome['traceEvents'])} trace event(s) to "
+                f"{args.chrome_out} (open in chrome://tracing or Perfetto)")
+        else:
+            logger.info(f"trace from {args.trace_file}:")
+            logger.info(render_tree(roots))
     if args.metrics_file:
         snapshot = json.loads(Path(args.metrics_file).read_text())
         logger.info(f"metrics from {args.metrics_file}:")
@@ -478,8 +673,22 @@ def _cmd_doctor(args) -> int:
     return 1 if report["corrupt"] or failures else 0
 
 
+_EPILOGUE = """\
+live telemetry:
+  `repro serve --telemetry-port 9464 --hold 60` starts an HTTP server with
+  /metrics (Prometheus text + rolling-window gauges), /healthz (503 while a
+  breaker is open or the pool crash-loops), /readyz and /debug/requests
+  (the flight recorder ring).  `repro top --url http://127.0.0.1:9464`
+  renders a live frame per --interval: qps and windowed p95, per-path row
+  share, breaker states, queue depth and SLO burn rates.  See
+  docs/telemetry.md.
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(prog="repro", description=__doc__)
+    p = argparse.ArgumentParser(
+        prog="repro", description=__doc__, epilog=_EPILOGUE,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     p.add_argument("-v", "--verbose", action="count", default=0,
                    help="more output (DEBUG); repeatable")
     p.add_argument("-q", "--quiet", action="count", default=0,
@@ -570,7 +779,34 @@ def build_parser() -> argparse.ArgumentParser:
                          ".prom Prometheus text)")
     sv.add_argument("--trace-file", default=None,
                     help="trace the run and write the span tree here as JSON")
+    sv.add_argument("--telemetry-port", type=int, default=None,
+                    help="start the telemetry HTTP server on this port "
+                         "(0 = any free port): /metrics, /healthz, /readyz, "
+                         "/debug/requests, plus the request flight recorder "
+                         "and rolling-window admission (docs/telemetry.md)")
+    sv.add_argument("--slo", action="append", default=None, metavar="SPEC",
+                    help="declare an SLO for burn-rate alerting (repeatable): "
+                         "'latency:SECONDS[:OBJECTIVE]', "
+                         "'vnm_rows[:OBJECTIVE]', or 'kind=...,key=value,...' "
+                         "(needs --telemetry-port)")
+    sv.add_argument("--hold", type=float, default=None, metavar="SECONDS",
+                    help="after serving, keep the telemetry server up this "
+                         "long for scrapes / `repro top`")
     sv.set_defaults(fn=_cmd_serve)
+
+    tp = sub.add_parser("top",
+                        help="live serving dashboard polled from a telemetry "
+                             "server's /metrics")
+    tp.add_argument("--url", default="http://127.0.0.1:9464",
+                    help="telemetry server base URL (repro serve "
+                         "--telemetry-port; default %(default)s)")
+    tp.add_argument("--interval", type=float, default=2.0,
+                    help="seconds between frames (default %(default)s)")
+    tp.add_argument("--frames", type=int, default=None,
+                    help="stop after N frames (default: run until ctrl-c)")
+    tp.add_argument("--no-clear", action="store_true",
+                    help="append frames instead of clearing the screen")
+    tp.set_defaults(fn=_cmd_top)
 
     tn = sub.add_parser("tune",
                         help="micro-benchmark backend kernels and cache the winner")
@@ -591,6 +827,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="metrics JSON written by `repro serve --metrics-file`")
     st.add_argument("--cache-dir", default=None,
                     help="artifact cache directory to summarize")
+    st.add_argument("--trace-file", default=None,
+                    help="span-tree JSON written by `repro serve --trace-file`; "
+                         "rendered as a text tree unless --chrome-out is given")
+    st.add_argument("--chrome-out", default=None,
+                    help="convert --trace-file to Chrome trace-event JSON "
+                         "(chrome://tracing / Perfetto); worker-adopted "
+                         "subtrees get their own process track")
     st.set_defaults(fn=_cmd_stats)
 
     dr = sub.add_parser("doctor",

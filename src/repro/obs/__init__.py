@@ -15,11 +15,23 @@ default so library code instruments unconditionally:
   resilience happenings (retries, downgrades, quarantines) and reorder
   progress under one ``{ts, kind, ...}`` schema.
 
+On top of the instruments sits the **live telemetry plane**:
+
+* :mod:`repro.obs.window` — rolling time-windowed views (rates, deltas,
+  windowed p50/p95/p99) computed reader-side from registry snapshots;
+* :mod:`repro.obs.slo` — declarative SLOs evaluated as multi-window
+  burn rates with ``slo_burn_rate`` gauges and ``slo.alert`` events;
+* :mod:`repro.obs.recorder` — a bounded flight recorder of per-request
+  exemplars (sampled span trees, every failure kept);
+* :mod:`repro.obs.server` — the stdlib HTTP server exposing
+  ``/metrics``, ``/healthz``, ``/readyz`` and ``/debug/requests``.
+
 Plus :func:`logging_setup`, the one sanctioned way output reaches a
 terminal — library code never prints to stdout.
 
 See ``docs/observability.md`` for the metric catalogue, the span
-hierarchy, and the event schema.
+hierarchy, and the event schema, and ``docs/telemetry.md`` for the live
+plane.
 """
 
 from .events import EventLog, emit, use_events
@@ -30,7 +42,17 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    parse_prometheus,
 )
+from .recorder import (
+    FlightRecorder,
+    RequestExemplar,
+    current_recorder,
+    set_recorder,
+    use_recorder,
+)
+from .server import TelemetryServer, session_health
+from .slo import SLO, SLOEvaluator, SLOStatus
 from .trace import (
     NullTracer,
     SpanRecord,
@@ -38,9 +60,11 @@ from .trace import (
     adopt,
     render_tree,
     span,
+    to_chrome_trace,
     tracing_enabled,
     use_tracer,
 )
+from .window import MetricWindows, WindowedHistogram
 
 __all__ = [
     "Counter",
@@ -48,6 +72,19 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "parse_prometheus",
+    "MetricWindows",
+    "WindowedHistogram",
+    "SLO",
+    "SLOEvaluator",
+    "SLOStatus",
+    "FlightRecorder",
+    "RequestExemplar",
+    "current_recorder",
+    "set_recorder",
+    "use_recorder",
+    "TelemetryServer",
+    "session_health",
     "SpanRecord",
     "Tracer",
     "NullTracer",
@@ -56,6 +93,7 @@ __all__ = [
     "use_tracer",
     "tracing_enabled",
     "render_tree",
+    "to_chrome_trace",
     "EventLog",
     "emit",
     "use_events",

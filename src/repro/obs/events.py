@@ -20,6 +20,12 @@ Like tracing, event emission is **off by default**: the module-level
 (:func:`use_events`), so library code emits unconditionally at zero idle
 cost.  An :class:`EventLog` keeps events in memory and, when given a
 ``path``, appends each as one JSON line (the ``--events-file`` format).
+
+Long-lived serving processes emit indefinitely, so an on-disk log accepts
+``max_bytes``: when an append would push the file past the cap, the
+current file rotates to ``<path>.1`` (replacing any previous ``.1``) and
+a fresh file starts.  One generation of history is kept — enough to
+reconstruct "what led up to this" without unbounded disk growth.
 """
 
 from __future__ import annotations
@@ -36,14 +42,27 @@ __all__ = ["EventLog", "emit", "use_events", "set_event_log", "current_event_log
 class EventLog:
     """In-memory (and optionally JSON-lines-on-disk) structured event sink."""
 
-    def __init__(self, path=None):
+    def __init__(self, path=None, *, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.events: list[dict] = []
         self.path = Path(path) if path is not None else None
+        self.max_bytes = max_bytes
+        self.rotations = 0
         self._lock = threading.Lock()
         self._fh = None
+        self._bytes = 0
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
+            self._bytes = self.path.stat().st_size
+
+    def _rotate_locked(self) -> None:
+        self._fh.close()
+        self.path.replace(self.path.with_name(self.path.name + ".1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
+        self.rotations += 1
 
     def emit(self, kind: str, **fields) -> dict:
         """Record one event; returns the full record."""
@@ -51,8 +70,17 @@ class EventLog:
         with self._lock:
             self.events.append(record)
             if self._fh is not None:
-                self._fh.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+                line = json.dumps(record, sort_keys=True, default=str) + "\n"
+                encoded = len(line.encode("utf-8"))
+                # Rotate *before* the write that would breach the cap, so
+                # the live file never exceeds max_bytes (single oversized
+                # records still land whole — a record is never split).
+                if (self.max_bytes is not None and self._bytes > 0
+                        and self._bytes + encoded > self.max_bytes):
+                    self._rotate_locked()
+                self._fh.write(line)
                 self._fh.flush()
+                self._bytes += encoded
         return record
 
     def of_kind(self, kind: str) -> list[dict]:

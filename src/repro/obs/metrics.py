@@ -28,6 +28,7 @@ hands them a registry, keeping the disabled hot path free of bookkeeping.
 from __future__ import annotations
 
 import json
+import re
 import threading
 from typing import Iterator
 
@@ -38,6 +39,9 @@ __all__ = [
     "MetricsRegistry",
     "default_registry",
     "DEFAULT_BUCKETS",
+    "quantile_from_counts",
+    "fraction_at_or_below",
+    "parse_prometheus",
 ]
 
 # Log-scale (powers of two) latency buckets: 1us .. ~67s, then +Inf.
@@ -46,6 +50,67 @@ DEFAULT_BUCKETS: tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(27))
 
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
+
+
+def quantile_from_counts(buckets: tuple[float, ...], counts, q: float) -> float:
+    """Estimated ``q``-quantile from per-bucket counts (not cumulative).
+
+    ``counts`` has one entry per bucket bound plus a final ``+Inf`` overflow
+    entry.  Linear interpolation inside the bucket containing the target
+    rank; a rank landing in the overflow bucket is **clamped to the largest
+    finite bucket bound** — the histogram cannot know how far past it the
+    tail reaches, and extrapolating would invent latencies that were never
+    measured.  Shared by :meth:`Histogram.quantile` (lifetime counts) and
+    the windowed views in :mod:`repro.obs.window` (bucket-count deltas).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        prev_cum = cumulative
+        cumulative += c
+        if cumulative >= rank:
+            if i >= len(buckets):
+                return buckets[-1]  # +Inf bucket: clamp, never extrapolate
+            hi = buckets[i]
+            lo = buckets[i - 1] if i > 0 else 0.0
+            frac = (rank - prev_cum) / c
+            return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+    return buckets[-1]
+
+
+def fraction_at_or_below(buckets: tuple[float, ...], counts, value: float) -> float:
+    """Estimated fraction of observations ``<= value`` from bucket counts.
+
+    The SLO layer's "good ratio" for latency objectives: observations in
+    the bucket containing ``value`` contribute pro-rata (linear within the
+    bucket); overflow-bucket observations only count when ``value`` is
+    infinite.  An empty histogram is vacuously good (``1.0``).
+    """
+    total = sum(counts)
+    if total == 0:
+        return 1.0
+    covered = 0.0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if i >= len(buckets):
+            if value == float("inf"):
+                covered += c
+            continue
+        hi = buckets[i]
+        lo = buckets[i - 1] if i > 0 else 0.0
+        if value >= hi:
+            covered += c
+        elif value > lo:
+            covered += c * (value - lo) / (hi - lo)
+    return covered / total
 
 
 class Counter:
@@ -143,26 +208,23 @@ class Histogram:
             self.count += 1
 
     def quantile(self, q: float) -> float:
-        """Estimated ``q``-quantile (0..1) from the bucket counts."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0
-        for i, c in enumerate(self.counts):
-            if c == 0:
-                continue
-            prev_cum = cumulative
-            cumulative += c
-            if cumulative >= rank:
-                hi = self.buckets[i] if i < len(self.buckets) else self.buckets[-1]
-                lo = self.buckets[i - 1] if i > 0 else 0.0
-                if i >= len(self.buckets):
-                    return hi  # +Inf bucket: clamp to the last finite edge
-                frac = (rank - prev_cum) / c
-                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
-        return self.buckets[-1]
+        """Estimated ``q``-quantile (0..1) from the bucket counts.
+
+        Delegates to :func:`quantile_from_counts`, so observations in the
+        ``+Inf`` overflow bucket clamp to the largest finite bucket bound
+        instead of extrapolating past anything actually measured.
+        """
+        return quantile_from_counts(self.buckets, self.counts, q)
+
+    def state(self) -> tuple[tuple[int, ...], float, int]:
+        """Consistent ``(counts, sum, count)`` snapshot under the lock.
+
+        The windowed views in :mod:`repro.obs.window` subtract two of
+        these; reading the three fields without the lock could tear
+        mid-observation.
+        """
+        with self._lock:
+            return tuple(self.counts), self.sum, self.count
 
     def summary(self) -> dict:
         """``{count, sum, avg, p50, p95, p99}`` of everything observed."""
@@ -305,12 +367,76 @@ def _fmt_float(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value) -> str:
+    """Escape a label value per the text exposition format (0.0.4):
+    backslash, double-quote, and newline are the three escapes."""
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
 def _fmt_labels(labels: dict, **extra) -> str:
     merged = {**labels, **extra}
     if not merged:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + body + "}"
+
+
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def parse_prometheus(text: str) -> tuple[dict[str, str], dict[str, list]]:
+    """Parse text exposition format back into ``(types, samples)``.
+
+    ``types`` maps metric name to its ``# TYPE`` kind; ``samples`` maps each
+    *series* name (including ``_bucket``/``_sum``/``_count`` suffixes) to a
+    list of ``(labels, value)`` pairs.  The consumer half of the scrape
+    round-trip: ``repro top`` and the exposition tests feed ``/metrics``
+    responses through this instead of trusting the producer blindly.
+    """
+    types: dict[str, str] = {}
+    samples: dict[str, list] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        name, label_body, value = match.groups()
+        labels = {}
+        if label_body:
+            labels = {
+                k: _unescape_label_value(v)
+                for k, v in _LABEL_RE.findall(label_body)
+            }
+        samples.setdefault(name, []).append((labels, float(value)))
+    return types, samples
 
 
 _DEFAULT = MetricsRegistry()

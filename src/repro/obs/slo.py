@@ -1,0 +1,302 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+An :class:`SLO` states an objective over served traffic — "99% of requests
+finish within 10ms", "90% of rows serve on the vnm tensor-core path" —
+and the evaluator turns the rolling windows of
+:mod:`repro.obs.window` into **burn rates**: how fast the error budget
+(``1 - objective``) is being spent.  A burn rate of 1.0 spends exactly
+the budget; 10.0 spends it ten times too fast.
+
+Alerting follows the multi-window pattern (Google SRE workbook): an SLO
+*alerts* only when **both** its fast window (is it burning right now?)
+and its slow window (has it been burning long enough to matter?) exceed
+``alert_burn`` — a single slow request can spike a 60s burn rate, but it
+cannot also spike the 600s one.  Every evaluation writes
+``slo_burn_rate{slo=...,window=fast|slow}`` gauges into the registry (so
+``/metrics`` exposes them and ``repro top`` renders them) and emits
+``slo.alert`` / ``slo.resolved`` events on transitions.
+
+Two SLO kinds cover the serving plane's needs:
+
+* ``latency`` — windowed fraction of ``metric`` observations at or below
+  ``threshold`` seconds must be >= ``objective``
+  (:func:`repro.obs.metrics.fraction_at_or_below` over bucket-count
+  deltas);
+* ``ratio`` — windowed delta of the ``good`` counter over the ``total``
+  counter must be >= ``objective`` (e.g. vnm-path rows over all rows,
+  from the ``serve_path_rows_total`` family).
+
+Specs parse from the CLI (``repro serve --slo``): shorthand
+``latency:0.01`` / ``latency:0.01:0.999``, shorthand
+``vnm_rows:0.9`` (the built-in tensor-core-path ratio), or the full
+``kind=ratio,good=serve_path_rows_total{backend=vnm},
+total=serve_path_rows_total,objective=0.9,name=vnm-share`` form.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from . import events as obs_events
+from .metrics import fraction_at_or_below
+from .window import MetricWindows
+
+__all__ = ["MetricRef", "SLO", "SLOStatus", "SLOEvaluator"]
+
+_REF_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?$")
+
+
+@dataclass(frozen=True)
+class MetricRef:
+    """A metric family, optionally narrowed by labels (``name{k=v,...}``)."""
+
+    name: str
+    labels: tuple = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "MetricRef":
+        match = _REF_RE.match(text.strip())
+        if match is None:
+            raise ValueError(f"bad metric reference {text!r}")
+        name, label_body = match.groups()
+        labels = []
+        if label_body:
+            for part in label_body.split(","):
+                if not part.strip():
+                    continue
+                key, _, value = part.partition("=")
+                if not _:
+                    raise ValueError(f"bad label in metric reference {text!r}")
+                labels.append((key.strip(), value.strip().strip('"')))
+        return cls(name=name, labels=tuple(sorted(labels)))
+
+    def __str__(self) -> str:
+        if not self.labels:
+            return self.name
+        body = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{body}}}"
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over fast/slow burn windows."""
+
+    name: str
+    kind: str  # "latency" | "ratio"
+    objective: float = 0.99
+    metric: str = "spmm_latency_seconds"
+    threshold: float | None = None  # latency kind: seconds
+    good: MetricRef | None = None   # ratio kind
+    total: MetricRef | None = None
+    fast_window: float = 60.0
+    slow_window: float = 600.0
+    alert_burn: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in ("latency", "ratio"):
+            raise ValueError(f"SLO kind must be 'latency' or 'ratio', got {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1) — an error budget must exist")
+        if self.kind == "latency" and (self.threshold is None or self.threshold <= 0):
+            raise ValueError("latency SLOs need a positive threshold (seconds)")
+        if self.kind == "ratio" and (self.good is None or self.total is None):
+            raise ValueError("ratio SLOs need good= and total= metric references")
+        if self.fast_window <= 0 or self.slow_window <= self.fast_window:
+            raise ValueError("windows must satisfy 0 < fast_window < slow_window")
+        if self.alert_burn <= 0:
+            raise ValueError("alert_burn must be positive")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    @classmethod
+    def parse(cls, spec: str) -> "SLO":
+        """Parse one ``--slo`` spec (shorthand or ``key=value`` form)."""
+        spec = spec.strip()
+        if "=" not in spec:
+            parts = spec.split(":")
+            if parts[0] == "latency" and len(parts) in (2, 3):
+                objective = float(parts[2]) if len(parts) == 3 else 0.99
+                threshold = float(parts[1])
+                return cls(name=f"latency_le_{threshold:g}s", kind="latency",
+                           threshold=threshold, objective=objective)
+            if parts[0] == "vnm_rows" and len(parts) in (1, 2):
+                objective = float(parts[1]) if len(parts) == 2 else 0.9
+                return cls(
+                    name="vnm_row_share", kind="ratio", objective=objective,
+                    good=MetricRef("serve_path_rows_total",
+                                   (("backend", "vnm"),)),
+                    total=MetricRef("serve_path_rows_total"),
+                )
+            raise ValueError(
+                f"bad SLO spec {spec!r}; expected 'latency:SECONDS[:OBJECTIVE]', "
+                f"'vnm_rows[:OBJECTIVE]', or 'key=value,...'"
+            )
+        fields: dict[str, str] = {}
+        for part in _split_spec(spec):
+            key, _, value = part.partition("=")
+            fields[key.strip()] = value.strip()
+        kind = fields.pop("kind", None)
+        if kind is None:
+            raise ValueError(f"SLO spec {spec!r} needs kind=latency|ratio")
+        kwargs: dict = {"kind": kind}
+        if "name" in fields:
+            kwargs["name"] = fields.pop("name")
+        for key in ("objective", "threshold", "fast_window", "slow_window",
+                    "alert_burn"):
+            if key in fields:
+                kwargs[key] = float(fields.pop(key))
+        if "metric" in fields:
+            kwargs["metric"] = fields.pop("metric")
+        for key in ("good", "total"):
+            if key in fields:
+                kwargs[key] = MetricRef.parse(fields.pop(key))
+        if fields:
+            raise ValueError(f"unknown SLO spec key(s): {sorted(fields)}")
+        if "name" not in kwargs:
+            kwargs["name"] = f"{kind}_slo"
+        return cls(**kwargs)
+
+
+def _split_spec(spec: str) -> list[str]:
+    """Split ``key=value`` pairs on commas outside ``{...}`` label bodies."""
+    parts, depth, current = [], 0, []
+    for ch in spec:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth = max(0, depth - 1)
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in parts if p.strip()]
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One SLO's state over one window at one evaluation."""
+
+    slo: str
+    window: str  # "fast" | "slow"
+    seconds: float
+    burn_rate: float
+    good_fraction: float
+    samples: float
+    alerting: bool = field(default=False)
+
+
+class SLOEvaluator:
+    """Evaluates SLOs over a :class:`MetricWindows`, exporting burn gauges.
+
+    One evaluator per telemetry plane; :meth:`evaluate` is called by the
+    telemetry server's sampler thread each tick (and by anything else that
+    wants a fresh verdict).  Gauges land in ``registry`` (default: the
+    windows' own registry, so they ride the same ``/metrics``).
+    """
+
+    def __init__(self, slos, windows: MetricWindows, registry=None):
+        self.slos = tuple(slos)
+        names = [s.name for s in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.windows = windows
+        self.registry = registry if registry is not None else windows.registry
+        self._alerting: set[str] = set()
+
+    # -- burn math -----------------------------------------------------------
+    def _good_fraction(self, slo: SLO, view) -> tuple[float, float]:
+        """``(good_fraction, samples)`` of one SLO over one window view."""
+        if slo.kind == "latency":
+            total = 0.0
+            weighted = 0.0
+            hist = None
+            for labels, entry in view.series(slo.metric):
+                if entry.get("kind") != "histogram":
+                    continue
+                hist = self.windows.registry.get(slo.metric, **labels)
+                if hist is None or entry["count"] <= 0:
+                    continue
+                # Reconstruct the windowed bucket deltas for this series.
+                facade = self.windows.histogram_view(
+                    slo.metric, view.window, **labels)
+                counts, count = facade._delta_counts()
+                if count <= 0:
+                    continue
+                weighted += count * fraction_at_or_below(
+                    hist.buckets, counts, slo.threshold)
+                total += count
+            return (weighted / total if total else 1.0), total
+        good = view.sum_deltas(slo.good.name, **dict(slo.good.labels))
+        total = view.sum_deltas(slo.total.name, **dict(slo.total.labels))
+        if total <= 0:
+            return 1.0, 0.0
+        return min(1.0, good / total), total
+
+    def _burn(self, slo: SLO, view) -> SLOStatus:
+        good, samples = self._good_fraction(slo, view)
+        burn = (1.0 - good) / slo.error_budget
+        label = "fast" if view.window == slo.fast_window else "slow"
+        return SLOStatus(slo=slo.name, window=label, seconds=view.window,
+                         burn_rate=burn, good_fraction=good, samples=samples)
+
+    # -- evaluation ----------------------------------------------------------
+    def evaluate(self) -> list[SLOStatus]:
+        """Compute every SLO's fast/slow burn; update gauges and alerts."""
+        out: list[SLOStatus] = []
+        for slo in self.slos:
+            fast = self._burn(slo, self.windows.view(slo.fast_window))
+            slow = self._burn(slo, self.windows.view(slo.slow_window))
+            alerting = (fast.burn_rate > slo.alert_burn
+                        and slow.burn_rate > slo.alert_burn)
+            for status in (fast, slow):
+                self.registry.gauge(
+                    "slo_burn_rate",
+                    help="error-budget burn rate per SLO and window "
+                         "(1.0 = spending the budget exactly)",
+                    slo=slo.name, window=status.window,
+                ).set(status.burn_rate)
+                out.append(SLOStatus(**{**status.__dict__, "alerting": alerting}))
+            was_alerting = slo.name in self._alerting
+            if alerting and not was_alerting:
+                self._alerting.add(slo.name)
+                self.registry.counter(
+                    "slo_alerts_total", help="SLO burn-rate alerts fired",
+                    slo=slo.name,
+                ).inc()
+                obs_events.emit(
+                    "slo.alert", slo=slo.name, fast_burn=fast.burn_rate,
+                    slow_burn=slow.burn_rate, objective=slo.objective,
+                )
+            elif not alerting and was_alerting:
+                self._alerting.discard(slo.name)
+                obs_events.emit(
+                    "slo.resolved", slo=slo.name, fast_burn=fast.burn_rate,
+                    slow_burn=slow.burn_rate,
+                )
+        return out
+
+    def alerting(self) -> tuple[str, ...]:
+        """Names of SLOs currently in the alerting state."""
+        return tuple(sorted(self._alerting))
+
+    def snapshot(self) -> dict:
+        """JSON-able summary (embedded in ``/healthz``)."""
+        statuses = self.evaluate()
+        return {
+            status.slo: {
+                **{
+                    s.window: {"burn_rate": s.burn_rate,
+                               "good_fraction": s.good_fraction,
+                               "samples": s.samples}
+                    for s in statuses if s.slo == status.slo
+                },
+                "alerting": status.slo in self._alerting,
+            }
+            for status in statuses
+        }

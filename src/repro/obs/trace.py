@@ -42,6 +42,7 @@ __all__ = [
     "current_tracer",
     "tracing_enabled",
     "render_tree",
+    "to_chrome_trace",
 ]
 
 
@@ -193,7 +194,13 @@ class Tracer:
         return _Span(self, name, attrs)
 
     def adopt(self, record: SpanRecord) -> None:
-        """Graft a finished record (e.g. from a worker) into the tree."""
+        """Graft a finished record (e.g. from a worker) into the tree.
+
+        Adopted subtrees are marked ``worker_adopted`` so exporters can
+        distinguish work that ran in another process; the mark lives in
+        ``attrs`` and therefore survives ``to_dict`` round-trips.
+        """
+        record.attrs.setdefault("worker_adopted", True)
         stack = self._stack()
         if stack:
             stack[-1].children.append(record)
@@ -207,6 +214,10 @@ class Tracer:
     def render(self, **kwargs) -> str:
         """The trace forest as an indented text tree."""
         return render_tree(self.roots, **kwargs)
+
+    def to_chrome_trace(self) -> dict:
+        """The trace forest as a Chrome trace-event JSON object."""
+        return to_chrome_trace(self.roots)
 
 
 _active: Tracer | NullTracer = NullTracer()
@@ -286,3 +297,67 @@ def render_tree(
     for root in roots:
         fmt(root, 0, root.duration)
     return "\n".join(lines)
+
+
+_MAIN_PID = 1
+
+
+def to_chrome_trace(roots: list[SpanRecord] | SpanRecord) -> dict:
+    """A span forest as Chrome trace-event JSON (``chrome://tracing``,
+    Perfetto, ``about:tracing``).
+
+    Spans become complete (``ph: "X"``) events.  Absolute starts are not
+    comparable across processes — ``SpanRecord.start`` is process-local
+    ``perf_counter`` time and is not serialized at all — so the exporter
+    lays spans out on a **synthetic timeline**: roots run back-to-back and
+    children pack sequentially inside their parent.  Durations are exact;
+    only concurrency between siblings is flattened.
+
+    Worker-adopted subtrees (the ``worker_adopted`` attr stamped by
+    :meth:`Tracer.adopt`) get a distinct ``pid`` per subtree — one fake
+    "process" track per worker-shipped tree, aligned to where the parent
+    adopted it — plus ``process_name`` metadata so the viewer labels the
+    tracks.
+    """
+    if isinstance(roots, SpanRecord):
+        roots = [roots]
+    events: list[dict] = []
+    pids_named: set[int] = set()
+    next_worker_pid = _MAIN_PID + 1
+
+    def name_pid(pid: int, label: str) -> None:
+        if pid not in pids_named:
+            pids_named.add(pid)
+            events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": label},
+            })
+
+    def place(record: SpanRecord, t0_us: float, pid: int) -> float:
+        nonlocal next_worker_pid
+        if record.attrs.get("worker_adopted") and pid == _MAIN_PID:
+            pid = next_worker_pid
+            next_worker_pid += 1
+            name_pid(pid, f"worker (adopted: {record.name})")
+        dur_us = record.duration * 1e6
+        args = {k: v for k, v in record.attrs.items() if k != "worker_adopted"}
+        if record.status == "error":
+            args["status"] = "error"
+            if record.error:
+                args["error"] = record.error
+        events.append({
+            "name": record.name, "ph": "X", "ts": t0_us, "dur": dur_us,
+            "pid": pid, "tid": pid, "cat": record.status,
+            "args": args,
+        })
+        cursor = t0_us
+        for child in record.children:
+            advance = place(child, cursor, pid)
+            cursor += advance
+        return dur_us
+
+    name_pid(_MAIN_PID, "main")
+    cursor = 0.0
+    for root in roots:
+        cursor += place(root, cursor, _MAIN_PID)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,302 @@
+"""Rolling time-windowed views over cumulative metrics.
+
+The instruments in :mod:`repro.obs.metrics` are deliberately cumulative —
+a counter only ever grows, a histogram's buckets only fill — because that
+keeps the hot-path update a single attribute add.  But every *live*
+consumer wants windows, not lifetimes: the ROADMAP's deadline-aware
+scheduling needs the p95 of the last minute (a server that was slow an
+hour ago is not slow now), SLO burn rates are defined over fast/slow
+windows, and ``repro top`` renders qps, not a request total.
+
+:class:`MetricWindows` bridges the two without touching the hot path.  A
+reader (the telemetry server's sampler thread, a benchmark, a test) calls
+:meth:`MetricWindows.record` periodically; each call snapshots every
+series in the registry — counter/gauge values, histogram
+``(bucket counts, sum, count)`` under the histogram's lock — into a
+bounded ring.  :meth:`MetricWindows.view` then subtracts the ring entry
+closest to ``now - window`` from the live registry:
+
+* counters → windowed **delta** and per-second **rate**;
+* gauges → the current value (windows don't change point-in-time reads);
+* histograms → windowed count/rate/avg and **p50/p95/p99 interpolated
+  from the bucket-count deltas** (:func:`repro.obs.metrics.
+  quantile_from_counts`, so the ``+Inf`` overflow clamp applies to
+  windows exactly as it does to lifetimes).
+
+:class:`WindowedHistogram` adapts one histogram series to the
+``count``/``quantile`` duck type :class:`repro.pipeline.guard.
+AdmissionPolicy` consumes, so load shedding sheds on the *recent* p95
+instead of a lifetime average that forgives a currently-degraded backend.
+
+Writers pay nothing: no instrument grows extra fields, and a process with
+no :class:`MetricWindows` attached behaves exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from .metrics import Histogram, MetricsRegistry, _label_key, quantile_from_counts
+
+__all__ = ["MetricWindows", "WindowView", "WindowedHistogram"]
+
+
+def _snapshot_series(metric):
+    """One series' cumulative state, cheap and consistent."""
+    if metric.kind == "histogram":
+        return metric.state()
+    return metric.value
+
+
+class MetricWindows:
+    """Bounded ring of registry snapshots with windowed difference views.
+
+    ``horizon`` bounds how far back a view can reach; ``max_samples``
+    bounds ring memory regardless of the recording cadence.  ``clock`` is
+    injectable (monotonic seconds) so tests drive windows deterministically.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *, horizon: float = 900.0,
+                 max_samples: int = 1024,
+                 clock: Callable[[], float] = time.monotonic):
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2 (a delta needs two ends)")
+        self.registry = registry
+        self.horizon = float(horizon)
+        self._clock = clock
+        self._samples: deque[tuple[float, dict]] = deque(maxlen=max_samples)
+        self._lock = threading.Lock()
+
+    # -- recording ----------------------------------------------------------
+    def _snapshot(self) -> dict:
+        return {
+            (metric.name, _label_key(metric.labels)): _snapshot_series(metric)
+            for metric in self.registry
+        }
+
+    def record(self) -> float:
+        """Snapshot every series now; returns the sample's timestamp."""
+        now = self._clock()
+        snap = self._snapshot()
+        with self._lock:
+            self._samples.append((now, snap))
+            while self._samples and now - self._samples[0][0] > self.horizon:
+                self._samples.popleft()
+        return now
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def _base_sample(self, now: float, window: float) -> tuple[float, dict]:
+        """The newest recorded sample at or before ``now - window``.
+
+        With no sample that old yet (startup), the oldest available is
+        used — the view reports its actual ``elapsed`` so consumers can
+        tell a full window from a short one.  With no samples at all the
+        view is empty (zero deltas against the live registry).
+        """
+        cutoff = now - window
+        with self._lock:
+            chosen = None
+            for ts, snap in self._samples:
+                if ts <= cutoff:
+                    chosen = (ts, snap)
+                else:
+                    break
+            if chosen is None and self._samples:
+                chosen = self._samples[0]
+        return chosen if chosen is not None else (now, {})
+
+    # -- views --------------------------------------------------------------
+    def view(self, window: float) -> "WindowView":
+        """Windowed delta/rate/quantile view ending *now*."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        now = self._clock()
+        base_ts, base = self._base_sample(now, window)
+        entries: dict[tuple, dict] = {}
+        elapsed = max(0.0, now - base_ts)
+        for metric in self.registry:
+            key = (metric.name, _label_key(metric.labels))
+            entries[key] = _window_entry(metric, base.get(key), elapsed)
+        return WindowView(window=window, elapsed=elapsed, entries=entries,
+                          registry=self.registry)
+
+    def histogram_view(self, name: str, window: float, **labels) -> "WindowedHistogram":
+        """An :class:`AdmissionPolicy`-compatible rolling view of one
+        histogram series (created in the registry on first use)."""
+        hist = self.registry.histogram(name, **labels)
+        return WindowedHistogram(self, hist, window)
+
+    # -- exposition ---------------------------------------------------------
+    def to_prometheus(self, windows: tuple[float, ...] = (60.0,)) -> str:
+        """Windowed series as derived gauges with a ``window`` label.
+
+        Counters export ``<base>_rate{window="60s"}`` (``_total`` suffix
+        stripped); histograms export ``<name>_rate`` plus ``_p50/_p95/_p99``
+        quantile gauges.  Appended to the cumulative exposition by
+        ``GET /metrics``, never replacing it — scrapers that want their own
+        windows still get the raw counters.
+        """
+        lines: list[str] = []
+        typed: set[str] = set()
+
+        def emit(name: str, labels: dict, value: float) -> None:
+            if name not in typed:
+                typed.add(name)
+                lines.append(f"# TYPE {name} gauge")
+            from .metrics import _fmt_labels  # late: module-private helper
+
+            lines.append(f"{name}{_fmt_labels(labels)} {value}")
+
+        for window in windows:
+            view = self.view(window)
+            label = f"{int(window)}s"
+            for metric in sorted(self.registry,
+                                 key=lambda m: (m.name, _label_key(m.labels))):
+                entry = view.get(metric.name, **metric.labels)
+                if entry is None:
+                    continue
+                labels = {**metric.labels, "window": label}
+                if metric.kind == "counter":
+                    base = metric.name.removesuffix("_total")
+                    emit(f"{base}_rate", labels, entry["rate"])
+                elif metric.kind == "histogram":
+                    emit(f"{metric.name}_rate", labels, entry["rate"])
+                    for q in ("p50", "p95", "p99"):
+                        emit(f"{metric.name}_{q}", labels, entry[q])
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _window_entry(metric, base, elapsed: float) -> dict:
+    if metric.kind == "histogram":
+        counts, total_sum, count = metric.state()
+        if base is None:
+            d_counts, d_sum, d_count = counts, total_sum, count
+        else:
+            base_counts, base_sum, base_count = base
+            # A registry reset mid-window shows as negative deltas; clamp
+            # to "everything since the reset" rather than reporting noise.
+            if base_count > count or len(base_counts) != len(counts):
+                d_counts, d_sum, d_count = counts, total_sum, count
+            else:
+                d_counts = tuple(c - b for c, b in zip(counts, base_counts))
+                d_sum, d_count = total_sum - base_sum, count - base_count
+        return {
+            "kind": "histogram",
+            "count": d_count,
+            "sum": d_sum,
+            "avg": d_sum / d_count if d_count else 0.0,
+            "rate": d_count / elapsed if elapsed > 0 else 0.0,
+            "p50": quantile_from_counts(metric.buckets, d_counts, 0.50),
+            "p95": quantile_from_counts(metric.buckets, d_counts, 0.95),
+            "p99": quantile_from_counts(metric.buckets, d_counts, 0.99),
+        }
+    value = metric.value
+    if metric.kind == "gauge":
+        return {"kind": "gauge", "value": value}
+    # A counter below its base means the registry was reset mid-window;
+    # report "everything since the reset", mirroring the histogram clamp.
+    delta = value if base is None or value < base else value - base
+    return {
+        "kind": "counter",
+        "delta": delta,
+        "rate": delta / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+class WindowView:
+    """One computed window: per-series deltas/rates/quantiles at a moment."""
+
+    def __init__(self, *, window: float, elapsed: float, entries: dict,
+                 registry: MetricsRegistry):
+        self.window = window
+        self.elapsed = elapsed
+        self._entries = entries
+        self._registry = registry
+
+    def get(self, name: str, **labels) -> dict | None:
+        """The windowed entry for one series, or ``None`` if unseen."""
+        return self._entries.get((name, _label_key(labels)))
+
+    def series(self, name: str) -> list[tuple[dict, dict]]:
+        """Every ``(labels, entry)`` of a metric family in this view."""
+        out = []
+        for (entry_name, label_key), entry in sorted(self._entries.items()):
+            if entry_name == name:
+                out.append((dict(label_key), entry))
+        return out
+
+    def sum_deltas(self, name: str, **labels) -> float:
+        """Total windowed delta over every series of ``name`` whose labels
+        contain ``labels`` (counters and histogram counts)."""
+        total = 0.0
+        for series_labels, entry in self.series(name):
+            if all(series_labels.get(k) == v for k, v in labels.items()):
+                total += entry.get("delta", entry.get("count", 0.0))
+        return total
+
+
+class WindowedHistogram:
+    """Rolling ``count``/``quantile`` facade over one histogram series.
+
+    Duck-compatible with :class:`repro.obs.metrics.Histogram` where
+    :meth:`repro.pipeline.guard.AdmissionPolicy.admit` is concerned, but
+    answering from the last ``window`` seconds only.  Resolved bucket
+    deltas are memoised for a quarter second (never more than a tenth of
+    the window), so the per-admission cost under a submit burst is one
+    clock read and a comparison — a 60-second rolling p95 does not change
+    meaningfully in 250 ms, and shedding decisions tolerate that lag.
+    """
+
+    def __init__(self, windows: MetricWindows, histogram: Histogram,
+                 window: float):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._windows = windows
+        self._histogram = histogram
+        self.window = float(window)
+        self._key = (histogram.name, _label_key(histogram.labels))
+        self._ttl = min(0.25, self.window / 10.0)
+        self._cache: tuple[float, tuple, int] | None = None
+
+    def _delta_counts(self) -> tuple[tuple[int, ...], int]:
+        now = self._windows._clock()
+        cached = self._cache
+        if cached is not None and now < cached[0]:
+            return cached[1], cached[2]
+        counts, count = self._delta_counts_uncached(now)
+        self._cache = (now + self._ttl, counts, count)
+        return counts, count
+
+    def _delta_counts_uncached(self, now: float) -> tuple[tuple[int, ...], int]:
+        _, base = self._windows._base_sample(now, self.window)
+        counts, _, count = self._histogram.state()
+        base_state = base.get(self._key)
+        if base_state is None:
+            return counts, count
+        base_counts, _, base_count = base_state
+        if base_count > count or len(base_counts) != len(counts):
+            return counts, count  # reset mid-window
+        return (tuple(c - b for c, b in zip(counts, base_counts)),
+                count - base_count)
+
+    @property
+    def count(self) -> int:
+        """Observations recorded within the window."""
+        return self._delta_counts()[1]
+
+    def quantile(self, q: float) -> float:
+        """Windowed quantile (with the same ``+Inf`` clamp as lifetimes)."""
+        counts, _ = self._delta_counts()
+        return quantile_from_counts(self._histogram.buckets, counts, q)
+
+    def __repr__(self) -> str:
+        return (f"WindowedHistogram({self._histogram.name!r}, "
+                f"window={self.window}s, count={self.count})")

@@ -194,7 +194,12 @@ class MicroBatcher:
         from ..pipeline.resilience import OverloadError  # lazy: cycle
 
         session = self._session
-        latency = session._m_latency if session._metrics is not None else None
+        # Prefer the session's rolling latency window (recent p95) over the
+        # lifetime histogram — a backend that was slow an hour ago should
+        # not shed traffic now, and one that is slow *now* should.
+        latency = getattr(session, "latency_window", None)
+        if latency is None:
+            latency = session._m_latency if session._metrics is not None else None
         try:
             admission.admit(
                 depth=len(self._pending),
@@ -211,6 +216,11 @@ class MicroBatcher:
                     help="requests rejected by admission control",
                     reason=reason,
                 ).inc()
+            recorder = getattr(session, "recorder", None)
+            if recorder is not None:
+                recorder.observe("shed", shed_reason=reason,
+                                 backend=session.backend_name,
+                                 error=exc)
             obs_events.emit("serve.shed", reason=reason,
                             depth=len(self._pending))
             logger.debug("request shed (%s): %s", reason, exc)
@@ -308,6 +318,16 @@ class MicroBatcher:
         if session._metrics is not None:
             session._m_requests.inc()
             session._m_latency.observe(time.perf_counter() - item.t0)
+            for counter, rows in session._path_rows_counters():
+                counter.inc(rows)
+        recorder = getattr(session, "recorder", None)
+        if recorder is not None:
+            recorder.observe(
+                "ok", latency=time.perf_counter() - item.t0,
+                backend=session.backend_name, batched=True,
+                h=int(item.x.shape[1]),
+                operand_key=getattr(session, "operand_key", None),
+            )
         item.future.set_result(out[:, 0] if item.squeeze else np.ascontiguousarray(out))
 
     def _run_batch(self, batch: list[_Pending]) -> None:
@@ -365,10 +385,17 @@ class MicroBatcher:
                 "coalesced batch of %d failed (%s); re-serving individually",
                 len(batch), exc,
             )
+            recorder = getattr(session, "recorder", None)
             for item in batch:
                 try:
                     single = session._serve_cycle(item.x)
                 except Exception as single_exc:  # noqa: BLE001 - routed to future
+                    if recorder is not None:
+                        recorder.observe(
+                            "error", latency=time.perf_counter() - item.t0,
+                            error=single_exc, backend=session.backend_name,
+                            batched=True, h=int(item.x.shape[1]),
+                        )
                     item.future.set_exception(single_exc)
                 else:
                     self._resolve(item, single)

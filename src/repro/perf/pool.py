@@ -121,6 +121,19 @@ class WorkerPool:
         """Whether an executor currently exists (workers may be spawned)."""
         return self._executor is not None
 
+    @property
+    def crash_looping(self) -> bool:
+        """Whether the pool is at its windowed restart cap *right now* —
+        the next :meth:`restart` would raise
+        :class:`~repro.pipeline.resilience.WorkerCrashError`.  ``/healthz``
+        turns this into a 503."""
+        policy = self.supervision
+        with self._lock:
+            now = time.monotonic()
+            while self._restart_times and now - self._restart_times[0] > policy.restart_window:
+                self._restart_times.popleft()
+            return len(self._restart_times) >= policy.max_restarts
+
     def _ensure(self) -> ProcessPoolExecutor:
         with self._lock:
             if self._closed:
@@ -203,8 +216,17 @@ class WorkerPool:
             while self._restart_times and now - self._restart_times[0] > policy.restart_window:
                 self._restart_times.popleft()
             if len(self._restart_times) >= policy.max_restarts:
+                from ..obs import recorder as obs_recorder
                 from ..pipeline.resilience import WorkerCrashError  # lazy: cycle
 
+                # Dump the flight recorder *before* raising: the requests
+                # that led up to the crash loop are exactly what the ring
+                # still holds, and the raise may end the process.
+                obs_recorder.crash_dump(
+                    "worker_crash_loop",
+                    error=f"{len(self._restart_times)} pool restarts within "
+                          f"{policy.restart_window:.0f}s",
+                )
                 raise WorkerCrashError(
                     f"worker pool crash-looping: {len(self._restart_times)} "
                     f"restarts within {policy.restart_window:.0f}s "

@@ -321,6 +321,17 @@ class BreakerBoard:
         breaker the board has seen (``Aggregator.health()`` embeds this)."""
         return {name: b.snapshot() for name, b in sorted(self._breakers.items())}
 
+    def open_backends(self) -> list[str]:
+        """Backends whose breaker is currently *open* (half-open rungs are
+        probing, hence healthy; ``/healthz`` keys its 503 off this list)."""
+        return sorted(
+            name for name, b in self._breakers.items() if b.state == STATE_OPEN
+        )
+
+    def any_open(self) -> bool:
+        """Whether any breaker on the board is open right now."""
+        return any(b.state == STATE_OPEN for b in self._breakers.values())
+
     def reset(self) -> None:
         with self._lock:
             self._breakers.clear()

@@ -87,6 +87,15 @@ class ServingSession:
     fp32_within_bound` admits the operand (otherwise the session stays on
     float64 and logs a warning).  :meth:`tune` picks backend and dtype
     empirically and records the decision on :attr:`tuned`.
+
+    ``recorder`` (a :class:`repro.obs.FlightRecorder`) captures per-request
+    exemplars: sampled requests carry a real span tree, every failure is
+    kept.  Orthogonal to ``metrics`` — either, both, or neither may be on;
+    only with both off does :meth:`spmm` take the unchanged zero-clock
+    path.  ``latency_window`` (typically a
+    :class:`repro.obs.WindowedHistogram` over ``spmm_latency_seconds``)
+    replaces the lifetime histogram as the admission policy's latency
+    signal, so shedding follows the *recent* p95.
     """
 
     def __init__(
@@ -103,6 +112,8 @@ class ServingSession:
         admission=None,
         engine: bool = True,
         precision: str = "float64",
+        recorder=None,
+        latency_window=None,
     ):
         self.operand = operand
         self.permutation = permutation
@@ -118,6 +129,13 @@ class ServingSession:
         self.batch_policy = batch_policy
         self._batcher = None
         self._metrics = metrics
+        self.recorder = recorder
+        self.latency_window = latency_window
+        self.operand_key = (
+            f"{self.original_backend}:{operand.shape[0]}x{operand.shape[1]}"
+        )
+        self._path_key = None
+        self._path_counters: list = []
         self._engine = engine
         self._dtype = None
         self.tuned = None
@@ -213,19 +231,91 @@ class ServingSession:
     def spmm(self, x: np.ndarray) -> np.ndarray:
         """One inference request: ``A @ x`` in the caller's vertex order."""
         x, squeeze = self._validate_features(x)
-        if self._metrics is None:
+        if self._metrics is None and self.recorder is None:
             # Observability off: the unchanged hot path — no clocks, no
             # bookkeeping beyond the request counter.
             out = self._serve_cycle(x)
             self.n_requests += 1
             return out[:, 0] if squeeze else out
+        probe = None
+        if self.recorder is not None:
+            probe = self.recorder.begin(
+                backend=self.backend_name, h=int(x.shape[1]),
+                operand_key=self.operand_key,
+            )
+        retries0 = self.resilience.retries
+        downgrades0 = len(self.resilience.downgrades)
         t0 = time.perf_counter()
-        with obs_trace.span("serve.request", h=x.shape[1]):
-            out = self._serve_cycle(x)
+        try:
+            if probe is not None:
+                # The probe installs a local tracer for sampled requests,
+                # so the serve.request span tree lands on the exemplar.
+                with probe, obs_trace.span("serve.request", h=x.shape[1]):
+                    out = self._serve_cycle(x)
+            else:
+                with obs_trace.span("serve.request", h=x.shape[1]):
+                    out = self._serve_cycle(x)
+        except Exception as exc:
+            if probe is not None:
+                probe.finish("error", error=exc,
+                             **self._request_outcome(retries0, downgrades0))
+            raise
         self.n_requests += 1
-        self._m_requests.inc()
-        self._m_latency.observe(time.perf_counter() - t0)
+        if self._metrics is not None:
+            self._m_requests.inc()
+            self._m_latency.observe(time.perf_counter() - t0)
+            for counter, rows in self._path_rows_counters():
+                counter.inc(rows)
+        if probe is not None:
+            probe.finish("ok", backend=self.backend_name,
+                         **self._request_outcome(retries0, downgrades0))
         return out[:, 0] if squeeze else out
+
+    def _request_outcome(self, retries0: int, downgrades0: int) -> dict:
+        """Exemplar fields describing what one request went through."""
+        plan = perf_engine.cached_plan(self.operand) if self._engine else None
+        return {
+            "variant": getattr(plan, "variant", None),
+            "retries": self.resilience.retries - retries0,
+            "downgrades": tuple(
+                e.to_backend for e in self.resilience.downgrades[downgrades0:]
+            ),
+        }
+
+    def _path_rows_counters(self) -> list:
+        """Cached ``(counter, rows)`` pairs for ``serve_path_rows_total``.
+
+        Plain plans put every operand row on the session's backend; a
+        segmented plan splits rows by its ``row_coverage``.  Rebuilt only
+        when the plan (or a sticky per-group downgrade) changes, so the
+        per-request cost is one key compare plus the counter adds.
+        """
+        plan = perf_engine.cached_plan(self.operand) if self._engine else None
+        if plan is not None and getattr(plan, "backend", None) == "segmented":
+            subs = getattr(plan, "_subs", None) or ()
+            key = (id(plan), sum(len(s.downgraded_from) for s in subs))
+            if key == self._path_key:
+                return self._path_counters
+            coverage = {
+                backend: entry["rows"]
+                for backend, entry in plan.summary()["row_coverage"].items()
+            }
+        else:
+            key = ("plain", self.backend_name)
+            if key == self._path_key:
+                return self._path_counters
+            coverage = {self.backend_name: self.shape[0]}
+        self._path_key = key
+        self._path_counters = [
+            (self._metrics.counter(
+                "serve_path_rows_total",
+                help="operand rows routed per kernel path, accumulated "
+                     "per request",
+                backend=backend,
+            ), float(rows))
+            for backend, rows in sorted(coverage.items())
+        ]
+        return self._path_counters
 
     def _serve_cycle(self, x: np.ndarray) -> np.ndarray:
         """Permute in, execute with recovery, permute back."""

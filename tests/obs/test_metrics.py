@@ -123,3 +123,82 @@ class TestRegistry:
 
 def test_default_registry_is_process_wide():
     assert default_registry() is default_registry()
+
+
+class TestQuantileOverflowClamp:
+    """Regression: ranks landing in the +Inf bucket must clamp to the
+    largest finite bound, never extrapolate past it."""
+
+    def test_all_mass_in_overflow_returns_largest_finite_bound(self, reg):
+        h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1))
+        for _ in range(100):
+            h.observe(50.0)  # every observation past the last bound
+        for q in (0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 0.1
+
+    def test_partial_overflow_high_quantile_clamped(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(100.0)
+        assert h.quantile(0.99) == 2.0
+        assert h.quantile(0.25) <= 1.0
+
+    def test_clamp_shared_by_free_function(self):
+        from repro.obs.metrics import quantile_from_counts
+        # counts: one per bound plus the +Inf overflow slot
+        assert quantile_from_counts((1.0, 2.0), (0, 0, 10), 0.95) == 2.0
+        assert quantile_from_counts((1.0, 2.0), (0, 0, 0), 0.95) == 0.0
+
+    def test_fraction_at_or_below_edges(self):
+        from repro.obs.metrics import fraction_at_or_below
+        buckets = (1.0, 2.0)
+        assert fraction_at_or_below(buckets, (0, 0, 0), 5.0) == 1.0  # empty
+        # overflow observations only count for an infinite threshold
+        assert fraction_at_or_below(buckets, (0, 0, 10), 2.0) == 0.0
+        assert fraction_at_or_below(buckets, (0, 0, 10), float("inf")) == 1.0
+        # pro-rata inside the containing bucket
+        assert fraction_at_or_below(buckets, (0, 10, 0), 1.5) == pytest.approx(0.5)
+
+
+class TestExpositionEdgeCases:
+    def test_label_values_escaped(self, reg):
+        reg.counter("hits_total", path='a\\b"c\nd').inc()
+        text = reg.to_prometheus()
+        assert r'path="a\\b\"c\nd"' in text
+
+    def test_escaping_round_trips_through_parser(self, reg):
+        from repro.obs.metrics import parse_prometheus
+        nasty = 'a\\b"c\nd'
+        reg.counter("hits_total", path=nasty).inc(2)
+        _, samples = parse_prometheus(reg.to_prometheus())
+        assert samples["hits_total"] == [({"path": nasty}, 2.0)]
+
+    def test_empty_registry_exposes_empty_text(self, reg):
+        from repro.obs.metrics import parse_prometheus
+        assert reg.to_prometheus() == ""
+        assert parse_prometheus("") == ({}, {})
+
+    def test_histogram_series_naming(self, reg):
+        from repro.obs.metrics import parse_prometheus
+        h = reg.histogram("lat", buckets=(1.0, 2.0), backend="vnm")
+        h.observe(1.5)
+        h.observe(3.0)
+        types, samples = parse_prometheus(reg.to_prometheus())
+        assert types == {"lat": "histogram"}
+        # exactly the three conventional series, nothing bare-named
+        assert set(samples) == {"lat_bucket", "lat_sum", "lat_count"}
+        buckets = {lab["le"]: v for lab, v in samples["lat_bucket"]}
+        assert buckets == {"1.0": 0.0, "2.0": 1.0, "+Inf": 2.0}  # cumulative
+        assert all(lab["backend"] == "vnm" for lab, _ in samples["lat_bucket"])
+        assert samples["lat_count"] == [({"backend": "vnm"}, 2.0)]
+
+    def test_parser_rejects_garbage(self):
+        from repro.obs.metrics import parse_prometheus
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_prometheus("not a metric line at all !!!")
+
+    def test_type_line_emitted_once_per_metric(self, reg):
+        reg.counter("hits_total", backend="a").inc()
+        reg.counter("hits_total", backend="b").inc()
+        text = reg.to_prometheus()
+        assert text.count("# TYPE hits_total counter") == 1

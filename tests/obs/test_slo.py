@@ -1,0 +1,203 @@
+"""SLOs: spec parsing, burn-rate math, multi-window alerting."""
+
+import pytest
+
+from repro.obs import SLO, MetricsRegistry, MetricWindows, SLOEvaluator, use_events
+from repro.obs.slo import MetricRef
+
+from .test_window import FakeClock
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def windows(reg, clock):
+    return MetricWindows(reg, clock=clock)
+
+
+class TestMetricRef:
+    def test_bare_name(self):
+        ref = MetricRef.parse("serve_path_rows_total")
+        assert ref.name == "serve_path_rows_total"
+        assert ref.labels == ()
+
+    def test_with_labels(self):
+        ref = MetricRef.parse('rows_total{backend=vnm, zone="a"}')
+        assert ref.labels == (("backend", "vnm"), ("zone", "a"))
+        assert str(ref) == "rows_total{backend=vnm,zone=a}"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            MetricRef.parse("not a metric!")
+
+
+class TestSpecParsing:
+    def test_latency_shorthand(self):
+        slo = SLO.parse("latency:0.01")
+        assert slo.kind == "latency"
+        assert slo.threshold == 0.01
+        assert slo.objective == 0.99
+
+    def test_latency_shorthand_with_objective(self):
+        slo = SLO.parse("latency:0.25:0.999")
+        assert slo.objective == 0.999
+
+    def test_vnm_rows_shorthand(self):
+        slo = SLO.parse("vnm_rows:0.8")
+        assert slo.kind == "ratio"
+        assert slo.objective == 0.8
+        assert slo.good.name == "serve_path_rows_total"
+        assert dict(slo.good.labels) == {"backend": "vnm"}
+        assert slo.total.labels == ()
+
+    def test_full_form_with_braces(self):
+        slo = SLO.parse(
+            "kind=ratio,good=rows_total{backend=vnm},total=rows_total,"
+            "objective=0.9,name=vnm-share,fast_window=30,slow_window=300"
+        )
+        assert slo.name == "vnm-share"
+        assert slo.fast_window == 30.0
+
+    def test_bad_specs(self):
+        for spec in ("latency", "nope:1", "kind=latency",  # missing threshold
+                     "kind=ratio,good=a", "kind=latency,threshold=0.1,bogus=1"):
+            with pytest.raises(ValueError):
+                SLO.parse(spec)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="objective"):
+            SLO(name="x", kind="latency", threshold=0.1, objective=1.0)
+        with pytest.raises(ValueError, match="windows"):
+            SLO(name="x", kind="latency", threshold=0.1,
+                fast_window=600.0, slow_window=60.0)
+
+
+def _latency_slo(**kw):
+    kw.setdefault("name", "lat")
+    kw.setdefault("kind", "latency")
+    kw.setdefault("threshold", 0.01)
+    kw.setdefault("objective", 0.9)
+    return SLO(**kw)
+
+
+class TestBurnRates:
+    def test_zero_burn_when_all_good(self, reg, windows, clock):
+        h = reg.histogram("spmm_latency_seconds", buckets=(0.001, 0.01, 0.1))
+        windows.record()
+        clock.advance(30.0)
+        for _ in range(20):
+            h.observe(0.001)
+        ev = SLOEvaluator([_latency_slo()], windows)
+        fast = ev.evaluate()[0]
+        assert fast.burn_rate == pytest.approx(0.0)
+        assert fast.good_fraction == 1.0
+
+    def test_all_bad_burns_at_inverse_budget(self, reg, windows, clock):
+        h = reg.histogram("spmm_latency_seconds", buckets=(0.001, 0.01, 0.1))
+        windows.record()
+        clock.advance(30.0)
+        for _ in range(20):
+            h.observe(50.0)  # all in +Inf, all above threshold
+        ev = SLOEvaluator([_latency_slo()], windows)
+        fast = ev.evaluate()[0]
+        # budget is 0.1; everything bad burns at 1/0.1 = 10x
+        assert fast.burn_rate == pytest.approx(10.0)
+
+    def test_no_traffic_is_not_a_violation(self, reg, windows, clock):
+        reg.histogram("spmm_latency_seconds")
+        windows.record()
+        ev = SLOEvaluator([_latency_slo()], windows)
+        for status in ev.evaluate():
+            assert status.burn_rate == 0.0
+            assert status.samples == 0
+
+    def test_ratio_burn(self, reg, windows, clock):
+        slo = SLO.parse("vnm_rows:0.9")
+        reg.counter("serve_path_rows_total", backend="vnm").inc(50)
+        reg.counter("serve_path_rows_total", backend="csr").inc(50)
+        windows.record()
+        clock.advance(30.0)
+        reg.counter("serve_path_rows_total", backend="vnm").inc(40)
+        reg.counter("serve_path_rows_total", backend="csr").inc(60)
+        ev = SLOEvaluator([slo], windows)
+        fast = ev.evaluate()[0]
+        # window: 40 of 100 rows on vnm -> bad fraction 0.6, budget 0.1
+        assert fast.good_fraction == pytest.approx(0.4)
+        assert fast.burn_rate == pytest.approx(6.0)
+
+    def test_burn_gauges_exported(self, reg, windows, clock):
+        reg.histogram("spmm_latency_seconds")
+        windows.record()
+        ev = SLOEvaluator([_latency_slo()], windows)
+        ev.evaluate()
+        assert reg.get("slo_burn_rate", slo="lat", window="fast") is not None
+        assert reg.get("slo_burn_rate", slo="lat", window="slow") is not None
+
+
+class TestAlerting:
+    def _burning_setup(self, reg, windows, clock):
+        h = reg.histogram("spmm_latency_seconds", buckets=(0.001, 0.01, 0.1))
+        windows.record()
+        clock.advance(700.0)  # past the slow window too
+        for _ in range(50):
+            h.observe(50.0)
+        return h
+
+    def test_alert_fires_when_both_windows_burn(self, reg, windows, clock):
+        self._burning_setup(reg, windows, clock)
+        ev = SLOEvaluator([_latency_slo()], windows)
+        with use_events() as log:
+            statuses = ev.evaluate()
+        assert all(s.alerting for s in statuses)
+        assert ev.alerting() == ("lat",)
+        assert len(log.of_kind("slo.alert")) == 1
+        assert reg.get("slo_alerts_total", slo="lat").value == 1.0
+
+    def test_alert_resolves_when_burn_stops(self, reg, windows, clock):
+        h = self._burning_setup(reg, windows, clock)
+        ev = SLOEvaluator([_latency_slo()], windows)
+        ev.evaluate()
+        assert ev.alerting() == ("lat",)
+        # Time passes; the bad minute ages out of both windows.
+        for _ in range(30):
+            windows.record()
+            clock.advance(60.0)
+        for _ in range(100):
+            h.observe(0.001)
+        with use_events() as log:
+            ev.evaluate()
+        assert ev.alerting() == ()
+        assert len(log.of_kind("slo.resolved")) == 1
+
+    def test_fast_spike_alone_does_not_alert(self, reg, windows, clock):
+        h = reg.histogram("spmm_latency_seconds", buckets=(0.001, 0.01, 0.1))
+        windows.record()
+        clock.advance(700.0)
+        for _ in range(1000):
+            h.observe(0.001)   # long healthy history
+        windows.record()
+        clock.advance(30.0)
+        for _ in range(5):
+            h.observe(50.0)    # brief spike inside the fast window only
+        ev = SLOEvaluator([_latency_slo()], windows)
+        statuses = ev.evaluate()
+        assert not any(s.alerting for s in statuses)
+
+    def test_duplicate_names_rejected(self, windows):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEvaluator([_latency_slo(), _latency_slo()], windows)
+
+    def test_snapshot_shape(self, reg, windows, clock):
+        reg.histogram("spmm_latency_seconds")
+        windows.record()
+        ev = SLOEvaluator([_latency_slo()], windows)
+        snap = ev.snapshot()
+        assert set(snap["lat"]) == {"fast", "slow", "alerting"}

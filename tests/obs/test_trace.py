@@ -134,3 +134,98 @@ class TestRender:
         with tracer.span("a"):
             pass
         assert "a" in tracer.render()
+
+
+class TestChromeTrace:
+    def _tree(self):
+        return SpanRecord(
+            "serve.request", duration=0.010, attrs={"h": 64},
+            children=[
+                SpanRecord("plan.lookup", duration=0.001),
+                SpanRecord("spmm.exec", duration=0.008,
+                           children=[SpanRecord("kernel", duration=0.007)]),
+            ])
+
+    def test_complete_event_structure(self):
+        from repro.obs import to_chrome_trace
+        doc = to_chrome_trace([self._tree()])
+        assert doc["displayTimeUnit"] == "ms"
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in events}
+        root = by_name["serve.request"]
+        assert root["dur"] == pytest.approx(10_000)  # microseconds
+        assert root["pid"] == 1 and root["tid"] == 1
+        assert root["args"] == {"h": 64}
+        # children nest inside the parent's [ts, ts+dur) interval
+        for child in ("plan.lookup", "spmm.exec"):
+            e = by_name[child]
+            assert e["ts"] >= root["ts"]
+            assert e["ts"] + e["dur"] <= root["ts"] + root["dur"] + 1
+        kernel = by_name["kernel"]
+        exec_ = by_name["spmm.exec"]
+        assert kernel["ts"] >= exec_["ts"]
+
+    def test_roots_laid_back_to_back(self):
+        from repro.obs import to_chrome_trace
+        a = SpanRecord("first", duration=0.002)
+        b = SpanRecord("second", duration=0.003)
+        events = [e for e in to_chrome_trace([a, b])["traceEvents"]
+                  if e["ph"] == "X"]
+        first, second = events[0], events[1]
+        assert first["name"] == "first"
+        assert second["ts"] >= first["ts"] + first["dur"]
+
+    def test_adopted_subtree_gets_its_own_pid(self):
+        from repro.obs import to_chrome_trace
+        worker_span = SpanRecord("stage1", duration=0.004,
+                                 attrs={"worker_adopted": True})
+        root = SpanRecord("parallel.reorder", duration=0.02,
+                          children=[worker_span,
+                                    SpanRecord("merge", duration=0.001)])
+        doc = to_chrome_trace([root])
+        events = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert events["parallel.reorder"]["pid"] == 1
+        assert events["merge"]["pid"] == 1
+        assert events["stage1"]["pid"] >= 2
+        # the marker attr is presentation state, not span args
+        assert "worker_adopted" not in events["stage1"]["args"]
+        meta = {e["args"]["name"] for e in doc["traceEvents"]
+                if e.get("name") == "process_name"}
+        assert "main" in meta
+        assert any("worker" in name for name in meta)
+
+    def test_error_span_carries_status_and_error(self):
+        from repro.obs import to_chrome_trace
+        rec = SpanRecord("bad", duration=0.001, status="error", error="boom")
+        (event,) = [e for e in to_chrome_trace([rec])["traceEvents"]
+                    if e["ph"] == "X"]
+        assert event["cat"] == "error"
+        assert event["args"]["status"] == "error"
+        assert event["args"]["error"] == "boom"
+
+    def test_from_dict_round_trip_exports(self):
+        from repro.obs import to_chrome_trace
+        original = self._tree()
+        revived = SpanRecord.from_dict(original.to_dict())
+        doc = to_chrome_trace([revived])
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names.count("serve.request") == 1
+        assert "kernel" in names
+
+    def test_tracer_method_delegates(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        doc = tracer.to_chrome_trace()
+        assert [e["name"] for e in doc["traceEvents"]
+                if e["ph"] == "X"] == ["a"]
+
+    def test_adopt_marks_for_export(self):
+        main = Tracer()
+        worker = Tracer()
+        with worker.span("remote"):
+            pass
+        main.adopt(worker.roots[0])
+        doc = main.to_chrome_trace()
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["pid"] >= 2

@@ -1,0 +1,187 @@
+"""Rolling windows: deltas, rates, windowed quantiles, admission facade."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, MetricWindows
+from repro.obs.window import WindowedHistogram
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def windows(reg, clock):
+    return MetricWindows(reg, clock=clock)
+
+
+class TestCounterWindows:
+    def test_delta_and_rate_over_window(self, reg, windows, clock):
+        c = reg.counter("requests_total")
+        c.inc(10)
+        windows.record()
+        clock.advance(60.0)
+        c.inc(30)
+        entry = windows.view(60.0).get("requests_total")
+        assert entry["delta"] == 30.0
+        assert entry["rate"] == pytest.approx(0.5)
+
+    def test_base_sample_is_newest_at_or_before_cutoff(self, reg, windows, clock):
+        c = reg.counter("requests_total")
+        windows.record()          # t=0, value 0
+        clock.advance(30.0)
+        c.inc(100)
+        windows.record()          # t=30, value 100
+        clock.advance(40.0)       # now t=70; cutoff for 60s window is t=10
+        c.inc(1)
+        entry = windows.view(60.0).get("requests_total")
+        assert entry["delta"] == 101.0  # measured against the t=0 sample
+
+    def test_short_uptime_falls_back_to_oldest(self, reg, windows, clock):
+        c = reg.counter("requests_total")
+        windows.record()
+        clock.advance(5.0)
+        c.inc(4)
+        view = windows.view(3600.0)
+        assert view.get("requests_total")["delta"] == 4.0
+        assert view.elapsed == pytest.approx(5.0)
+
+    def test_no_samples_means_full_value_zero_rate(self, reg, windows):
+        reg.counter("requests_total").inc(7)
+        entry = windows.view(60.0).get("requests_total")
+        assert entry["delta"] == 7.0
+        assert entry["rate"] == 0.0  # zero elapsed: no rate claim
+
+    def test_registry_reset_clamps_negative_delta(self, reg, windows, clock):
+        c = reg.counter("requests_total")
+        c.inc(50)
+        windows.record()
+        clock.advance(10.0)
+        reg.reset()
+        c2 = reg.counter("requests_total")
+        c2.inc(3)
+        entry = windows.view(60.0).get("requests_total")
+        assert entry["delta"] == 3.0  # not -47
+
+    def test_horizon_prunes_old_samples(self, reg, clock):
+        w = MetricWindows(reg, horizon=100.0, clock=clock)
+        reg.counter("x_total")
+        for _ in range(5):
+            w.record()
+            clock.advance(40.0)
+        assert len(w) <= 3
+
+
+class TestHistogramWindows:
+    def test_windowed_quantiles_see_only_recent_observations(self, reg, windows, clock):
+        h = reg.histogram("lat", buckets=(0.001, 0.01, 0.1, 1.0))
+        for _ in range(100):
+            h.observe(0.9)        # slow past
+        windows.record()
+        clock.advance(120.0)
+        windows.record()
+        clock.advance(30.0)
+        for _ in range(10):
+            h.observe(0.005)      # fast present
+        view = windows.view(60.0)
+        entry = view.get("lat")
+        assert entry["count"] == 10
+        assert entry["p95"] <= 0.01          # window forgets the slow past
+        assert h.quantile(0.95) > 0.1        # lifetime still remembers it
+
+    def test_avg_and_rate(self, reg, windows, clock):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        windows.record()
+        clock.advance(10.0)
+        h.observe(1.0)
+        h.observe(2.0)
+        entry = windows.view(10.0).get("lat")
+        assert entry["avg"] == pytest.approx(1.5)
+        assert entry["rate"] == pytest.approx(0.2)
+
+
+class TestWindowedHistogramFacade:
+    def test_duck_type_for_admission(self, reg, windows, clock):
+        wh = windows.histogram_view("spmm_latency_seconds", 60.0)
+        assert isinstance(wh, WindowedHistogram)
+        h = reg.histogram("spmm_latency_seconds")
+        for _ in range(50):
+            h.observe(0.5)
+        windows.record()
+        clock.advance(120.0)
+        windows.record()
+        clock.advance(10.0)
+        h.observe(0.001)
+        assert wh.count == 1                    # only the recent observation
+        assert wh.quantile(0.95) < 0.01
+        assert h.quantile(0.95) > 0.1
+
+    def test_empty_window_count_zero(self, reg, windows):
+        wh = windows.histogram_view("lat", 60.0)
+        assert wh.count == 0
+        assert wh.quantile(0.95) == 0.0
+
+    def test_rejects_nonpositive_window(self, reg, windows):
+        with pytest.raises(ValueError):
+            windows.histogram_view("lat", 0.0)
+
+
+class TestSumDeltas:
+    def test_label_subset_match(self, reg, windows, clock):
+        reg.counter("rows_total", backend="vnm").inc(80)
+        reg.counter("rows_total", backend="csr").inc(20)
+        windows.record()
+        clock.advance(30.0)
+        reg.counter("rows_total", backend="vnm").inc(40)
+        reg.counter("rows_total", backend="csr").inc(60)
+        view = windows.view(30.0)
+        assert view.sum_deltas("rows_total") == 100.0
+        assert view.sum_deltas("rows_total", backend="vnm") == 40.0
+
+
+class TestWindowExposition:
+    def test_derived_gauges_in_prometheus_text(self, reg, windows, clock):
+        reg.counter("requests_total").inc(5)
+        h = reg.histogram("lat")
+        h.observe(0.01)
+        windows.record()
+        clock.advance(60.0)
+        reg.counter("requests_total").inc(6)
+        h.observe(0.02)
+        text = windows.to_prometheus((60.0,))
+        assert '# TYPE requests_rate gauge' in text
+        assert 'requests_rate{window="60s"}' in text  # _total stripped
+        assert 'lat_p95{window="60s"}' in text
+        assert 'lat_rate{window="60s"}' in text
+
+    def test_empty_windows_emit_nothing(self, reg, windows):
+        assert windows.to_prometheus() == ""
+
+
+class TestValidation:
+    def test_bad_constructor_args(self, reg):
+        with pytest.raises(ValueError):
+            MetricWindows(reg, horizon=0.0)
+        with pytest.raises(ValueError):
+            MetricWindows(reg, max_samples=1)
+
+    def test_bad_view_window(self, windows):
+        with pytest.raises(ValueError):
+            windows.view(-1.0)

@@ -105,3 +105,157 @@ class TestArtifacts:
     def test_repr(self, served):
         _, result = served
         assert "hybrid" in repr(ServingSession.from_result(result))
+
+
+# -- telemetry wiring: flight recorder, per-path rows, windowed admission ----
+
+from repro.obs import FlightRecorder, MetricsRegistry  # noqa: E402
+from repro.pipeline import (  # noqa: E402
+    AdmissionPolicy,
+    FaultPlan,
+    OverloadError,
+    RetryPolicy,
+    inject,
+)
+
+FAST = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.004, jitter=0.0)
+
+
+def int_features(n, h=6, seed=0):
+    return np.random.default_rng(seed).integers(0, 1 << 10, size=(n, h)).astype(np.float64)
+
+
+class TestFlightRecorderWiring:
+    def test_recorder_only_session_records_exemplars(self, served):
+        g, result = served
+        rec = FlightRecorder(sample_every=1)
+        session = ServingSession.from_result(result, recorder=rec)
+        x = int_features(g.n)
+        out = session.spmm(x)
+        assert np.array_equal(out, g.dense_adjacency() @ x)
+        (e,) = rec.exemplars()
+        assert e.status == "ok"
+        assert e.backend == "hybrid"
+        assert e.operand_key == f"hybrid:{g.n}x{g.n}"
+        assert e.h == 6
+        assert e.retries == 0 and e.downgrades == ()
+        # sampled request carries the real span tree
+        assert e.span_tree["name"] == "serve.request"
+
+    def test_failure_recorded_even_when_unsampled(self, served):
+        g, result = served
+        rec = FlightRecorder(sample_every=1000)
+        session = ServingSession.from_result(
+            result, recorder=rec, retry_policy=FAST)
+        with inject(FaultPlan(kernel_failures={
+                "hybrid": 100, "bsr": 100, "csr": 100, "dense": 100})):
+            with pytest.raises(Exception):
+                session.spmm(int_features(g.n))
+        (e,) = rec.exemplars()
+        assert e.status == "error"
+        assert "BackendExecutionError" in e.error
+        assert e.retries == 2  # FAST burns its two retries first
+
+    def test_exemplar_carries_downgrade_path(self, served):
+        g, result = served
+        rec = FlightRecorder(sample_every=1)
+        session = ServingSession.from_result(
+            result, recorder=rec, retry_policy=FAST)
+        with inject(FaultPlan(kernel_failures={"hybrid": 100, "bsr": 100})):
+            out = session.spmm(int_features(g.n))
+        assert np.array_equal(out, g.dense_adjacency() @ int_features(g.n))
+        (e,) = rec.exemplars()
+        assert e.status == "ok"
+        assert e.downgrades == ("csr",)
+        assert e.retries == 2
+
+
+class TestPathRowCounters:
+    def test_plain_plan_charges_all_rows_to_backend(self, served):
+        g, result = served
+        reg = MetricsRegistry()
+        session = ServingSession.from_result(result, metrics=reg)
+        x = int_features(g.n)
+        session.spmm(x)
+        session.spmm(x)
+        c = reg.get("serve_path_rows_total", backend="hybrid")
+        assert c is not None and c.value == 2.0 * g.n
+
+    def test_segmented_plan_splits_rows_per_coverage(self):
+        import numpy as _np
+
+        from repro.perf.segment import build_segmented_plan
+        from repro.sptc import CSRMatrix
+
+        # Conforming 2:4 rows except three violators -> split coverage.
+        a = _np.zeros((64, 64))
+        for i in range(64):
+            for s in range(16):
+                a[i, s * 4] = i + 1.0
+                a[i, s * 4 + 2] = 2.0
+        for i in (20, 21, 40):
+            a[i, 1] = 3.0
+        csr = CSRMatrix.from_dense(a)
+        plan = build_segmented_plan(csr, pattern=PATTERN)
+        cov = plan.summary()["row_coverage"]
+        assert len(cov) >= 2  # the premise: rows split across kernel paths
+        reg = MetricsRegistry()
+        session = ServingSession(csr, metrics=reg)
+        x = int_features(64, h=5, seed=3)
+        out = session.spmm(x)
+        assert np.array_equal(out, a @ x)
+        for backend, entry in cov.items():
+            c = reg.get("serve_path_rows_total", backend=backend)
+            assert c is not None and c.value == float(entry["rows"])
+
+
+class TestWindowedAdmission:
+    class _SlowWindow:
+        """Duck-typed recent-latency view: plenty of samples, terrible p95."""
+        count = 100
+
+        @staticmethod
+        def quantile(q):
+            return 10.0
+
+    def test_latency_window_preferred_over_lifetime(self, served):
+        g, result = served
+        reg = MetricsRegistry()
+        # Lifetime histogram says "fast" (no observations at all), but the
+        # rolling window says "slow now" -> the window must win and shed.
+        rec = FlightRecorder(sample_every=1000)
+        session = ServingSession.from_result(
+            result, metrics=reg,
+            admission=AdmissionPolicy(deadline=0.5),
+            recorder=rec, latency_window=self._SlowWindow())
+        with pytest.raises(OverloadError):
+            session.submit(int_features(g.n))
+        session.close(drain=False)
+        (e,) = rec.exemplars()
+        assert e.status == "shed"
+        assert e.shed_reason == "deadline"
+        assert reg.get("serve_shed_total", reason="deadline").value == 1.0
+
+    def test_no_window_falls_back_to_lifetime_histogram(self, served):
+        g, result = served
+        reg = MetricsRegistry()
+        session = ServingSession.from_result(
+            result, metrics=reg, admission=AdmissionPolicy(deadline=0.5))
+        # Lifetime histogram is empty -> optimistic admission, no shed.
+        fut = session.submit(int_features(g.n))
+        session.flush()
+        assert np.array_equal(fut.result(), g.dense_adjacency() @ int_features(g.n))
+        session.close()
+
+    def test_batched_requests_reach_recorder_and_path_counters(self, served):
+        g, result = served
+        reg = MetricsRegistry()
+        rec = FlightRecorder(sample_every=1)
+        session = ServingSession.from_result(result, metrics=reg, recorder=rec)
+        fut = session.submit(int_features(g.n))
+        session.flush()
+        fut.result()
+        session.close()
+        assert any(e.batched for e in rec.exemplars())
+        c = reg.get("serve_path_rows_total", backend="hybrid")
+        assert c is not None and c.value >= float(g.n)

@@ -118,3 +118,84 @@ class TestPipelineCommands:
         text = capsys.readouterr().out
         assert code == 0
         assert "tuner decisions: 1" in text
+
+
+class TestTelemetryCommands:
+    def test_serve_with_telemetry_plane(self, mtx_file, tmp_path, capsys):
+        code = main(["serve", mtx_file, "--pattern", "2:4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--requests", "2", "--h", "8",
+                     "--telemetry-port", "0",
+                     "--slo", "latency:0.5", "--slo", "vnm_rows:0.5"])
+        text = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry" in text
+        assert "bitwise-equal to dense reference: True" in text
+
+    def test_bad_slo_spec_is_usage_error(self, mtx_file, tmp_path, capsys):
+        code = main(["serve", mtx_file, "--pattern", "2:4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--requests", "1",
+                     "--telemetry-port", "0", "--slo", "bogus:spec"])
+        text = capsys.readouterr().out
+        assert code == 2
+        assert "bad --slo spec" in text
+
+    def test_top_renders_frames_from_live_plane(self, capsys):
+        from repro.obs import MetricsRegistry, MetricWindows, TelemetryServer
+
+        reg = MetricsRegistry()
+        reg.counter("serve_requests_total").inc(3)
+        reg.histogram("spmm_latency_seconds").observe(0.002)
+        reg.gauge("serve_queue_depth").set(1.0)
+        reg.counter("serve_path_rows_total", backend="vnm").inc(80)
+        reg.counter("serve_path_rows_total", backend="csr").inc(20)
+        with TelemetryServer(reg, windows=MetricWindows(reg)) as srv:
+            code = main(["top", "--url", srv.url, "--frames", "2",
+                         "--interval", "0.01", "--no-clear"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("repro top") == 2
+        assert "rows by path" in out
+        assert "vnm" in out and "80.0%" in out
+
+    def test_top_scrape_failure_is_an_error(self, capsys):
+        code = main(["top", "--url", "http://127.0.0.1:1",  # nothing there
+                     "--frames", "1", "--no-clear"])
+        assert code == 1
+        assert "failed" in capsys.readouterr().out
+
+    def test_stats_trace_file_renders_tree(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import SpanRecord
+
+        root = SpanRecord("serve.request", duration=0.01,
+                          children=[SpanRecord("kernel", duration=0.008)])
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps([root.to_dict()]))
+        code = main(["stats", "--trace-file", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serve.request" in out and "kernel" in out
+
+    def test_stats_chrome_export(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import SpanRecord
+
+        root = SpanRecord("serve.request", duration=0.01,
+                          children=[SpanRecord("kernel", duration=0.008)])
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps(root.to_dict()))  # single dict also fine
+        chrome = tmp_path / "chrome.json"
+        code = main(["stats", "--trace-file", str(trace),
+                     "--chrome-out", str(chrome)])
+        assert code == 0
+        doc = json.loads(chrome.read_text())
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == ["serve.request", "kernel"]
+
+    def test_chrome_out_requires_trace_file(self, capsys):
+        code = main(["stats", "--chrome-out", "x.json"])
+        assert code == 2
