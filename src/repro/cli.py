@@ -201,6 +201,33 @@ def _cmd_preprocess(args) -> int:
     return 0
 
 
+def _cmd_shard(args) -> int:
+    """Offline shard build: preprocess once, cache one artefact per shard."""
+    from .pipeline import ArtifactCache, preprocess
+    from .pipeline.sharded import shard_result
+
+    graph = graph_from_mtx(args.input)
+    cache = ArtifactCache(args.cache_dir)
+    result = preprocess(graph, _build_plan(args), cache=cache)
+    logger.info(
+        f"{args.input}: {'loaded cached artefact' if result.cached else 'preprocessed'} "
+        f"(pattern {result.pattern}, backend {result.backend}, key {result.cache_key})"
+    )
+    shards = shard_result(result, n_shards=args.shards, cache=cache)
+    for entry in shards.summary()["shards"]:
+        status = "cache hit" if entry["cached"] else "compressed"
+        logger.info(f"shard {entry['index']}: rows {entry['rows'][0]}-"
+                    f"{entry['rows'][1]} ({entry['size']}), {status}, "
+                    f"key {entry['cache_key']}")
+    logger.info(f"{shards.n_shards} shard(s), tile align {shards.align}, "
+                f"cache {cache.cache_dir}: {len(cache)} artefact(s)")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(shards.summary(), indent=2) + "\n")
+        logger.info(f"wrote shard layout to {args.json_out}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .pipeline import ArtifactCache, RetryPolicy, ServingSession, preprocess
     from .pipeline.guard import (
@@ -218,7 +245,8 @@ def _cmd_serve(args) -> int:
     telemetry = None
     recorder = None
     latency_window = None
-    holder: dict = {}  # the session, once built, for /healthz
+    windows = None
+    holder: dict = {}  # the session/router, once built, for /healthz
     if args.telemetry_port is not None:
         from .obs import (
             SLO,
@@ -243,7 +271,8 @@ def _cmd_serve(args) -> int:
         telemetry = TelemetryServer(
             metrics, port=args.telemetry_port, windows=windows,
             evaluator=evaluator, recorder=recorder,
-            health=lambda: session_health(holder.get("session")),
+            health=lambda: session_health(holder.get("session"),
+                                          router=holder.get("router")),
         ).start()
         set_recorder(recorder)  # crash_dump / SIGUSR1 find it
         logger.info(f"telemetry: {telemetry.url}/metrics  /healthz  /readyz  "
@@ -270,11 +299,32 @@ def _cmd_serve(args) -> int:
             f"(pattern {result.pattern}, backend {result.backend})"
         )
         policy = RetryPolicy(max_attempts=args.max_retries + 1, deadline=args.deadline)
-        session = ServingSession.from_result(
-            result, retry_policy=policy, metrics=metrics, admission=admission,
-            recorder=recorder, latency_window=latency_window,
-        )
-        holder["session"] = session
+        session = None
+        if args.shards > 1:
+            from .pipeline.sharded import ShardRouter, shard_result
+
+            shards = shard_result(result, n_shards=args.shards, cache=cache)
+            cached = sum(1 for s in shards.specs if s.cached)
+            logger.info(
+                f"sharded: {shards.n_shards} shard(s) x {args.replicas} "
+                f"replica(s), align {shards.align}, "
+                f"rows {[s.size for s in shards.specs]}, "
+                f"{cached} shard artefact(s) cache-hit"
+            )
+            server = ShardRouter(
+                shards, metrics=metrics, windows=windows,
+                replicas=args.replicas, retry_policy=policy,
+                admission=admission, deadline=args.deadline,
+                recorder=recorder,
+            )
+            holder["router"] = server
+        else:
+            session = ServingSession.from_result(
+                result, retry_policy=policy, metrics=metrics, admission=admission,
+                recorder=recorder, latency_window=latency_window,
+            )
+            holder["session"] = session
+            server = session
         if telemetry is not None:
             telemetry.set_ready()  # /readyz flips once the session can serve
 
@@ -287,22 +337,26 @@ def _cmd_serve(args) -> int:
             rng.integers(0, 1 << 10, size=(graph.n, args.h)).astype(np.float64)
             for _ in range(args.requests)
         ]
-        if args.micro_batch:
-            # Coalesced path: enqueue everything, flush once, then verify
-            # each per-request output against the dense reference.
-            futures = [session.submit(features) for features in batches]
-            session.flush()
+        if args.micro_batch or args.shards > 1:
+            # Coalesced/pipelined path: enqueue everything, then verify
+            # each per-request output against the dense reference.  The
+            # router's submit path is its throughput mode — consecutive
+            # requests overlap across shard lanes.
+            futures = [server.submit(features) for features in batches]
+            if session is not None:
+                session.flush()
             outputs = [fut.result() for fut in futures]
-            session.close()
+            if session is not None:
+                session.close()
         else:
-            outputs = [session.spmm(features) for features in batches]
+            outputs = [server.spmm(features) for features in batches]
         for i, (features, out) in enumerate(zip(batches, outputs)):
             reference = reference_op @ features
             bitwise = bool(np.array_equal(out, reference))
             ok &= bitwise
             logger.info(f"request {i}: output {out.shape}, "
                         f"bitwise-equal to dense reference: {bitwise}")
-        if args.micro_batch and session.batcher is None:
+        if args.micro_batch and session is not None and session.batcher is None:
             logger.info(f"served {args.requests} request(s) micro-batched")
         return session, ok
 
@@ -329,27 +383,41 @@ def _cmd_serve(args) -> int:
             telemetry.stop()
             set_recorder(None)
 
-    cm = session.cost_model
-    t_csr = cm.time_csr_spmm(SpmmWorkload.from_csr(graph.csr(), args.h))
-    t_req = session.model_request_seconds(args.h)
-    logger.info(f"modelled per-request time {t_req * 1e6:.1f}us "
-                f"({t_csr / t_req:.2f}x vs CSR baseline); "
-                f"served {session.n_requests} request(s)")
-    segments = session.segment_summary()
-    if segments is not None:
-        coverage = ", ".join(
-            f"{name} {info['rows']} row(s) ({info['fraction']:.0%})"
-            for name, info in sorted(segments["row_coverage"].items())
-        )
-        logger.info(f"segmented plan: {segments['n_segments']} row block(s) "
-                    f"in {segments.get('n_groups', '?')} kernel group(s); {coverage}")
-    stats = session.resilience
-    if stats.retries or stats.downgrades or cache.stats.quarantined:
-        logger.info(f"resilience: {stats.retries} retr(ies), "
-                    f"{cache.stats.quarantined} quarantined artefact(s)")
-        for event in stats.downgrades:
-            logger.info(f"  downgraded {event.from_backend} -> {event.to_backend}: "
-                        f"{event.reason}")
+    router = holder.get("router")
+    if router is not None:
+        health = router.health()
+        for entry in router.shard_load():
+            logger.info(
+                f"shard {entry['shard']}: rows {entry['rows'][0]}-{entry['rows'][1]}, "
+                f"{entry['alive']}/{entry['replicas']} replica(s) alive, "
+                f"{entry['served']} served, {entry['failures']} failure(s)"
+            )
+        logger.info(f"router: {router.n_requests} request(s) merged, "
+                    f"{router.n_failovers} failover(s), {router.n_shed} shed; "
+                    f"healthy={health['healthy']} degraded={health['degraded']}")
+        router.close()
+    else:
+        cm = session.cost_model
+        t_csr = cm.time_csr_spmm(SpmmWorkload.from_csr(graph.csr(), args.h))
+        t_req = session.model_request_seconds(args.h)
+        logger.info(f"modelled per-request time {t_req * 1e6:.1f}us "
+                    f"({t_csr / t_req:.2f}x vs CSR baseline); "
+                    f"served {session.n_requests} request(s)")
+        segments = session.segment_summary()
+        if segments is not None:
+            coverage = ", ".join(
+                f"{name} {info['rows']} row(s) ({info['fraction']:.0%})"
+                for name, info in sorted(segments["row_coverage"].items())
+            )
+            logger.info(f"segmented plan: {segments['n_segments']} row block(s) "
+                        f"in {segments.get('n_groups', '?')} kernel group(s); {coverage}")
+        stats = session.resilience
+        if stats.retries or stats.downgrades or cache.stats.quarantined:
+            logger.info(f"resilience: {stats.retries} retr(ies), "
+                        f"{cache.stats.quarantined} quarantined artefact(s)")
+            for event in stats.downgrades:
+                logger.info(f"  downgraded {event.from_backend} -> {event.to_backend}: "
+                            f"{event.reason}")
     board = active_breakers()
     if board is not None:
         snapshot = board.snapshot()
@@ -411,10 +479,19 @@ def _top_frame(samples: dict, health: dict | None) -> str:
     if depth is not None:
         head.append(f"queue {int(depth)}")
     if health is not None:
-        head.append("healthy" if health.get("healthy") else
-                    "UNHEALTHY (" + ", ".join(health.get("open_breakers", []))
-                    + (" pool-crash-loop" if health.get("pool_crash_looping")
-                       else "") + ")")
+        if not health.get("healthy"):
+            detail = ", ".join(health.get("open_breakers", []))
+            if health.get("pool_crash_looping"):
+                detail += " pool-crash-loop"
+            if health.get("unhealthy_shards"):
+                detail += (" shards " + ",".join(
+                    str(s) for s in health["unhealthy_shards"]))
+            head.append(f"UNHEALTHY ({detail.strip()})")
+        elif health.get("degraded"):
+            head.append("DEGRADED (shards " + ",".join(
+                str(s) for s in health.get("unhealthy_shards", [])) + ")")
+        else:
+            head.append("healthy")
     lines.append("  ".join(head))
 
     rows = samples.get("serve_path_rows_total", [])
@@ -426,6 +503,35 @@ def _top_frame(samples: dict, health: dict | None) -> str:
                                         key=lambda s: -s[1])
         )
         lines.append(f"rows by path: {share}")
+
+    # Sharded serving: one row per shard, keyed off the shard="<i>" label
+    # the router's per-shard sessions put on their series.
+    shard_rows: dict[str, dict] = {}
+
+    def shard_col(name: str, field: str, **match):
+        for labels, value in samples.get(name, []):
+            shard = labels.get("shard")
+            if shard is None:
+                continue
+            if all(labels.get(k) == v for k, v in match.items()):
+                row = shard_rows.setdefault(shard, {})
+                row[field] = row.get(field, 0.0) + value
+
+    shard_col("serve_requests_total", "req")
+    shard_col("spmm_latency_seconds_p95", "p95", window="60s")
+    shard_col("router_in_flight", "in_flight")
+    shard_col("router_replicas", "replicas")
+    shard_col("router_failovers_total", "failovers")
+    if shard_rows:
+        lines.append("shard   req     p95(60s)  inflight  repl  failover")
+        for shard in sorted(shard_rows, key=lambda s: (len(s), s)):
+            row = shard_rows[shard]
+            p95s = (_fmt_seconds(row["p95"]) if "p95" in row else "     n/a")
+            lines.append(
+                f"{shard:>5}  {int(row.get('req', 0)):6d}  {p95s:>9}  "
+                f"{int(row.get('in_flight', 0)):8d}  "
+                f"{int(row.get('replicas', 0)):4d}  "
+                f"{int(row.get('failovers', 0)):8d}")
 
     breakers = samples.get("breaker_state", [])
     if breakers:
@@ -792,7 +898,26 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--hold", type=float, default=None, metavar="SECONDS",
                     help="after serving, keep the telemetry server up this "
                          "long for scrapes / `repro top`")
+    sv.add_argument("--shards", type=int, default=1,
+                    help="serve through the sharded fan-out router: partition "
+                         "the operand into this many v-aligned row shards, "
+                         "one session per shard (docs/sharding.md; default 1 "
+                         "= single session)")
+    sv.add_argument("--replicas", type=int, default=1,
+                    help="replicas per shard for failover and hot-shard "
+                         "throughput (needs --shards > 1; default 1)")
     sv.set_defaults(fn=_cmd_serve)
+
+    sh = sub.add_parser("shard",
+                        help="offline shard build: partition a preprocessed "
+                             "operand into per-shard cached artefacts")
+    sh.add_argument("input")
+    add_plan_args(sh)
+    sh.add_argument("--shards", type=int, default=4,
+                    help="number of v-aligned row shards (default %(default)s)")
+    sh.add_argument("--json-out", default=None,
+                    help="write the shard layout summary here as JSON")
+    sh.set_defaults(fn=_cmd_shard)
 
     tp = sub.add_parser("top",
                         help="live serving dashboard polled from a telemetry "

@@ -40,12 +40,43 @@ class RowPartition:
         return self.stop - self.start
 
 
-def partition_rows(n: int, n_parts: int) -> list[RowPartition]:
-    """Balanced contiguous 1-D partition of ``n`` vertices."""
+def partition_rows(n: int, n_parts: int, *, align: int = 1) -> list[RowPartition]:
+    """Balanced contiguous 1-D partition of ``n`` vertices.
+
+    Guarantees exhaustive, disjoint coverage: every row lands in exactly
+    one partition, partitions are contiguous and ordered, and
+    ``parts[0].start == 0``, ``parts[-1].stop == n``.
+
+    ``align`` snaps every *interior* boundary to a multiple of it — the
+    N:M tile height ``v`` for sharded serving, so no V:N:M tile row ever
+    straddles two shards (the final boundary is ``n`` itself; a partial
+    tail tile stays whole inside the last partition).  Balance is in whole
+    tiles: partition sizes differ by at most one tile.  Raises
+    :class:`ValueError` when ``n_parts`` exceeds the number of tiles —
+    an empty shard serves nothing and merges wrong.
+    """
     if n_parts < 1:
         raise ValueError("need at least one partition")
-    bounds = np.linspace(0, n, n_parts + 1).astype(np.int64)
-    return [RowPartition(i, int(bounds[i]), int(bounds[i + 1])) for i in range(n_parts)]
+    if align < 1:
+        raise ValueError("align must be >= 1")
+    if n < 1:
+        raise ValueError("need at least one row to partition")
+    n_tiles = -(-n // align)
+    if n_parts > n_tiles:
+        raise ValueError(
+            f"cannot split {n} row(s) ({n_tiles} tile(s) of height {align}) "
+            f"into {n_parts} non-empty aligned partitions"
+        )
+    base, extra = divmod(n_tiles, n_parts)
+    parts: list[RowPartition] = []
+    start = 0
+    tile_stop = 0
+    for i in range(n_parts):
+        tile_stop += base + (1 if i < extra else 0)
+        stop = min(n, tile_stop * align)
+        parts.append(RowPartition(i, start, stop))
+        start = stop
+    return parts
 
 
 def edge_cut(graph: Graph, parts: list[RowPartition]) -> int:

@@ -45,13 +45,18 @@ __all__ = ["TelemetryServer", "session_health"]
 logger = logging.getLogger("repro.obs.server")
 
 
-def session_health(session=None, pool=None) -> dict:
-    """Liveness verdict for a serving process: breakers and worker pool.
+def session_health(session=None, pool=None, router=None) -> dict:
+    """Liveness verdict for a serving process: breakers, pool, shards.
 
-    ``healthy`` is False iff any registered circuit breaker is open or the
-    pool has hit its crash-loop cap.  Half-open breakers (probing) leave
-    the process healthy — traffic is flowing, just carefully.  Importable
-    without a session (a bare telemetry plane is always healthy).
+    ``healthy`` is False iff any registered circuit breaker is open, the
+    pool has hit its crash-loop cap, or — with a ``router`` (a
+    :class:`repro.pipeline.sharded.ShardRouter`) — a *majority* of shards
+    has no live replica.  A dead shard minority only marks the payload
+    ``degraded``: ``/healthz`` keeps answering 200 so the deployment is
+    not pulled from rotation while most rows still serve.  Half-open
+    breakers (probing) leave the process healthy — traffic is flowing,
+    just carefully.  Importable without a session (a bare telemetry plane
+    is always healthy).
     """
     # Late import: obs must stay importable below the pipeline layer.
     from ..pipeline.guard import active_breakers
@@ -70,6 +75,13 @@ def session_health(session=None, pool=None) -> dict:
     }
     if session is not None and hasattr(session, "segment_summary"):
         health["segments"] = session.segment_summary()
+    if router is not None:
+        shard_health = router.health()
+        health["healthy"] = health["healthy"] and shard_health["healthy"]
+        health["degraded"] = shard_health.get("degraded", False)
+        health["shards"] = shard_health["shards"]
+        health["unhealthy_shards"] = shard_health["unhealthy_shards"]
+        health["n_shards"] = shard_health["n_shards"]
     return health
 
 

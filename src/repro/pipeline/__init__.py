@@ -21,9 +21,20 @@
   (:class:`FaultPlan` + :func:`inject`) for testing every recovery path,
   plus the seeded chaos harness (:class:`ChaosSchedule` +
   :class:`ChaosInvariants`).
+* :mod:`repro.pipeline.sharded` — the sharded serving fabric: v-aligned
+  row partitioning of one preprocessed operand into per-shard cached
+  artefacts (:func:`build_shards`) and the fan-out/merge
+  :class:`ShardRouter` with replica failover, hot-shard replication, and
+  online rebalance.
 """
 
-from .cache import ArtifactCache, CacheStats, adjacency_fingerprint, cache_key
+from .cache import (
+    ArtifactCache,
+    CacheStats,
+    adjacency_fingerprint,
+    cache_key,
+    shard_cache_key,
+)
 from .faults import (
     ChaosInvariants,
     ChaosSchedule,
@@ -71,6 +82,13 @@ from .resilience import (
     WorkerCrashError,
 )
 from .serving import ServingSession
+from .sharded import (
+    ShardRouter,
+    ShardSet,
+    ShardSpec,
+    build_shards,
+    shard_result,
+)
 
 __all__ = [
     "Backend",
@@ -92,8 +110,14 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "cache_key",
+    "shard_cache_key",
     "adjacency_fingerprint",
     "ServingSession",
+    "ShardSpec",
+    "ShardSet",
+    "ShardRouter",
+    "build_shards",
+    "shard_result",
     "PipelineError",
     "PreprocessError",
     "ArtifactCorruptError",

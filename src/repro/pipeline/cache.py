@@ -43,7 +43,13 @@ from ..sptc import serialize
 from . import faults
 from .preprocess import PreprocessPlan
 
-__all__ = ["ArtifactCache", "CacheStats", "cache_key", "adjacency_fingerprint"]
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "cache_key",
+    "adjacency_fingerprint",
+    "shard_cache_key",
+]
 
 # Failure modes a damaged .npz can surface: structural (BadZipFile/OSError/
 # EOFError), compressed-stream damage (zlib.error), missing arrays
@@ -68,6 +74,21 @@ def cache_key(bm: BitMatrix, plan: PreprocessPlan) -> str:
         **plan.key_fields(),
     }
     blob = json.dumps(payload, sort_keys=True, default=str).encode()
+    return hashlib.sha256(blob).hexdigest()[:32]
+
+
+def shard_cache_key(base_key: str, index: int, n_shards: int, *, align: int = 1) -> str:
+    """Content address of one row shard of a cached artefact.
+
+    Derived from the whole-operand ``base_key`` (which already covers the
+    adjacency bits, the plan knobs, and the serialize format version) plus
+    the shard geometry: its index, the shard count, and the row-block
+    alignment (the pattern's tile height ``v``).  Changing any of these
+    re-addresses every shard, so a re-partitioned deployment never loads a
+    stale slice; shards of the same artefact under the same geometry are
+    cache hits across sessions.
+    """
+    blob = f"{base_key}:shard:{index}/{n_shards}:align{align}".encode()
     return hashlib.sha256(blob).hexdigest()[:32]
 
 

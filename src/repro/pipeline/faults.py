@@ -24,7 +24,12 @@ Three hook sites consult the active plan:
 * **coalesced batches** — :class:`repro.perf.batching.MicroBatcher` calls
   :func:`maybe_fail_batch` before each stacked SpMM dispatch, exercising
   the re-serve-individually fallback that keeps one bad batch from
-  failing every coalesced request.
+  failing every coalesced request;
+* **shard replicas** — :class:`repro.pipeline.sharded.ShardRouter`'s
+  replicas call :func:`shard_directive` before serving a sub-request;
+  ``"kill"`` makes the replica die (exercising replica failover and the
+  degraded-health path), ``"slow"`` injects a stall (exercising
+  deadline-aware fan-out merging).
 
 Every hook is a cheap no-op when no plan is active, and plans record what
 they injected in :attr:`FaultPlan.events` so tests can assert the faults
@@ -52,6 +57,7 @@ __all__ = [
     "maybe_fail_shm",
     "maybe_fail_batch",
     "worker_directive",
+    "shard_directive",
 ]
 
 
@@ -63,9 +69,9 @@ class InjectedFault(RuntimeError):
 class FaultEvent:
     """Record of one injected fault: where, on what, and which action."""
 
-    site: str  # "kernel" | "cache" | "worker" | "shm" | "batch"
-    target: str  # backend name, cache key, job index, or fixed site tag
-    action: str  # "raise" | "corrupt" | "exit"
+    site: str  # "kernel" | "cache" | "worker" | "shm" | "batch" | "shard"
+    target: str  # backend name, cache key, job/shard index, or fixed site tag
+    action: str  # "raise" | "corrupt" | "exit" | "kill" | "slow"
 
 
 @dataclass
@@ -83,6 +89,10 @@ class FaultPlan:
     creations (forcing ``reorder_many``'s pickled-payload fallback), and
     ``batch_crashes`` crashes that many upcoming coalesced SpMM batches
     before dispatch (forcing the per-request re-serve fallback).
+    ``shard_faults`` maps a shard index to ``"kill"`` (the next replica
+    serving that shard dies, exercising the router's replica failover) or
+    ``"slow"`` (the next sub-request on that shard stalls, exercising
+    deadline-aware fan-out); each directive fires once.
     """
 
     kernel_failures: dict[str, int] = field(default_factory=dict)
@@ -90,6 +100,7 @@ class FaultPlan:
     worker_crashes: dict[int, str] = field(default_factory=dict)
     shm_failures: int = 0
     batch_crashes: int = 0
+    shard_faults: dict[int, str] = field(default_factory=dict)
     events: list[FaultEvent] = field(default_factory=list)
 
     def take_kernel_failure(self, backend: str) -> bool:
@@ -113,6 +124,14 @@ class FaultPlan:
             if action not in ("raise", "exit", "hang"):
                 raise ValueError(f"unknown worker fault action {action!r}")
             self.events.append(FaultEvent("worker", str(index), action))
+        return action
+
+    def take_shard_fault(self, index: int) -> str | None:
+        action = self.shard_faults.pop(index, None)
+        if action is not None:
+            if action not in ("kill", "slow"):
+                raise ValueError(f"unknown shard fault action {action!r}")
+            self.events.append(FaultEvent("shard", str(index), action))
         return action
 
     def take_shm_failure(self) -> bool:
@@ -190,6 +209,14 @@ def worker_directive(index: int) -> str | None:
     return plan.take_worker_crash(index)
 
 
+def shard_directive(index: int) -> str | None:
+    """The scripted fault (``"kill"`` / ``"slow"``) for shard ``index``, if any."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.take_shard_fault(index)
+
+
 # -- seeded chaos --------------------------------------------------------------
 
 @dataclass
@@ -222,13 +249,20 @@ class ChaosSchedule(FaultPlan):
         worker_actions: tuple[str, ...] = ("raise", "exit", "hang"),
         worker_crash_rate: float = 0.3,
         kernel_failure_rate: float = 0.6,
+        n_shards: int = 0,
+        shard_actions: tuple[str, ...] = ("kill", "slow"),
+        shard_fault_rate: float = 0.5,
     ) -> "ChaosSchedule":
         """Draw one schedule from ``seed``.
 
         ``backends`` are the kernel-fault candidates; ``"dense"`` is always
         excluded so every fallback ladder keeps a working terminal rung and
         the invariant "every request resolves" stays satisfiable.
-        ``n_jobs`` sizes the worker-directive draw (0 = no worker faults).
+        ``n_jobs`` sizes the worker-directive draw (0 = no worker faults);
+        ``n_shards`` sizes the shard-directive draw (0 = no shard faults).
+        The shard draw happens after every other draw, so a schedule with
+        ``n_shards=0`` is byte-identical to a pre-shard one for the same
+        seed — the fixed replay corpus keeps its meaning.
         """
         rng = random.Random(seed)
         plan = cls(seed=seed)
@@ -243,6 +277,9 @@ class ChaosSchedule(FaultPlan):
         for index in range(n_jobs):
             if rng.random() < worker_crash_rate:
                 plan.worker_crashes[index] = rng.choice(list(worker_actions))
+        for index in range(n_shards):
+            if rng.random() < shard_fault_rate:
+                plan.shard_faults[index] = rng.choice(list(shard_actions))
         return plan
 
     def describe(self) -> dict:
@@ -254,6 +291,7 @@ class ChaosSchedule(FaultPlan):
             "worker_crashes": {str(k): v for k, v in self.worker_crashes.items()},
             "shm_failures": self.shm_failures,
             "batch_crashes": self.batch_crashes,
+            "shard_faults": {str(k): v for k, v in self.shard_faults.items()},
         }
 
 

@@ -96,6 +96,12 @@ class ServingSession:
     :class:`repro.obs.WindowedHistogram` over ``spmm_latency_seconds``)
     replaces the lifetime histogram as the admission policy's latency
     signal, so shedding follows the *recent* p95.
+
+    ``shard`` labels every metric series this session emits with
+    ``{shard="<value>"}`` — the per-shard observability a
+    :class:`repro.pipeline.sharded.ShardRouter` deployment needs to tell
+    its row-partition sessions apart.  ``None`` (the default) keeps the
+    label-less series of an unsharded session.
     """
 
     def __init__(
@@ -114,6 +120,7 @@ class ServingSession:
         precision: str = "float64",
         recorder=None,
         latency_window=None,
+        shard: str | None = None,
     ):
         self.operand = operand
         self.permutation = permutation
@@ -131,6 +138,13 @@ class ServingSession:
         self._metrics = metrics
         self.recorder = recorder
         self.latency_window = latency_window
+        # Per-shard metric series: a sharded deployment labels each shard
+        # session's latency/row series so `repro top`, windowed admission,
+        # and the fan-out router can tell the shards apart.  ``None`` (the
+        # default, every unsharded session) emits the exact label-less
+        # series the rest of the stack already scrapes.
+        self.shard = None if shard is None else str(shard)
+        self._shard_labels = {} if shard is None else {"shard": self.shard}
         self.operand_key = (
             f"{self.original_backend}:{operand.shape[0]}x{operand.shape[1]}"
         )
@@ -146,16 +160,20 @@ class ServingSession:
             self._enable_float32()
         if metrics is not None:
             self._m_latency = metrics.histogram(
-                "spmm_latency_seconds", help="end-to-end serve request latency"
+                "spmm_latency_seconds", help="end-to-end serve request latency",
+                **self._shard_labels,
             )
             self._m_requests = metrics.counter(
-                "serve_requests_total", help="spmm requests served"
+                "serve_requests_total", help="spmm requests served",
+                **self._shard_labels,
             )
             self._m_retries = metrics.counter(
-                "serve_retries_total", help="kernel attempts retried"
+                "serve_retries_total", help="kernel attempts retried",
+                **self._shard_labels,
             )
             self._m_downgrades = metrics.counter(
-                "serve_downgrades_total", help="backend fallback downgrades"
+                "serve_downgrades_total", help="backend fallback downgrades",
+                **self._shard_labels,
             )
             self._m_residual = metrics.gauge(
                 "costmodel_residual",
@@ -311,7 +329,7 @@ class ServingSession:
                 "serve_path_rows_total",
                 help="operand rows routed per kernel path, accumulated "
                      "per request",
-                backend=backend,
+                backend=backend, **self._shard_labels,
             ), float(rows))
             for backend, rows in sorted(coverage.items())
         ]

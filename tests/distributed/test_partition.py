@@ -1,7 +1,8 @@
 """Row partitioning and per-partition reordering (§4.4)."""
 
-import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import VNMPattern
 from repro.distributed import edge_cut, partition_rows, reorder_partitions
@@ -26,6 +27,63 @@ class TestPartitionRows:
     def test_invalid(self):
         with pytest.raises(ValueError):
             partition_rows(4, 0)
+
+
+class TestAlignedPartitionRows:
+    """The sharding contract: v-aligned boundaries, exhaustive coverage."""
+
+    def test_aligned_boundaries(self):
+        parts = partition_rows(100, 3, align=8)
+        # Interior boundaries are tile multiples; the last stop is n itself.
+        for p in parts[:-1]:
+            assert p.stop % 8 == 0
+        assert parts[0].start == 0 and parts[-1].stop == 100
+
+    def test_partial_tail_tile_stays_whole(self):
+        # 13 rows at v=4 is 4 tiles; the 1-row tail tile must not be split
+        # off into its own boundary crossing.
+        parts = partition_rows(13, 2, align=4)
+        assert [(p.start, p.stop) for p in parts] == [(0, 8), (8, 13)]
+
+    def test_too_many_parts_for_tiles_rejected(self):
+        # 8 rows = 2 tiles of height 4: a third aligned partition would be
+        # empty, and an empty shard serves nothing and merges wrong.
+        with pytest.raises(ValueError):
+            partition_rows(8, 3, align=4)
+
+    def test_bad_align_rejected(self):
+        with pytest.raises(ValueError):
+            partition_rows(8, 2, align=0)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=4096),
+        n_parts=st.integers(min_value=1, max_value=12),
+        align=st.integers(min_value=1, max_value=16),
+    )
+    def test_coverage_is_exhaustive_and_aligned(self, n, n_parts, align):
+        n_tiles = -(-n // align)
+        if n_parts > n_tiles:
+            with pytest.raises(ValueError):
+                partition_rows(n, n_parts, align=align)
+            return
+        parts = partition_rows(n, n_parts, align=align)
+        # Exhaustive disjoint coverage: contiguous, ordered, no gaps.
+        assert parts[0].start == 0
+        assert parts[-1].stop == n
+        for prev, nxt in zip(parts, parts[1:]):
+            assert prev.stop == nxt.start
+        # Every partition is non-empty and v-aligned at both interior ends.
+        for p in parts:
+            assert p.size > 0
+            assert p.start % align == 0
+        for p in parts[:-1]:
+            assert p.stop % align == 0
+        # Whole-tile balance: sizes differ by at most one tile.
+        tile_counts = [-(-p.size // align) for p in parts]
+        assert max(tile_counts) - min(tile_counts) <= 1
+        # Devices are numbered in order.
+        assert [p.device for p in parts] == list(range(n_parts))
 
 
 class TestEdgeCut:

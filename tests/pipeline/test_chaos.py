@@ -216,3 +216,129 @@ class TestWorkerChaos:
             time.sleep(0.05)
         inv.require(not leaked, f"seed{seed}: worker processes leaked {leaked}")
         record(seed, "worker", scripted, inv)
+
+
+# Shard chaos corpus: drawn at n_shards=4 to cover the space — seed 5
+# scripts kill+slow with no kernel faults (pure router recovery), 7 piles
+# kills on two shards plus a slow one under heavy kernel faulting, 14 slows
+# a majority of shards, and 2 is a light single-slow blip.
+SHARD_SEEDS = (2, 5, 7, 14)
+
+
+class TestShardChaos:
+    """The fan-out router's invariants under shard-kill / slow-shard faults.
+
+    With ``replicas=2`` a single scripted kill can never take a shard below
+    one live replica, so *every* request must still resolve bit-identically
+    (the replica-failover invariant); a slow shard may cost latency but
+    never correctness while the deadline is generous, and a tight deadline
+    fails the request with :class:`DeadlineExceeded` — taxonomy, not a
+    hang (the deadline invariant).
+    """
+
+    @pytest.mark.parametrize("seed", SHARD_SEEDS)
+    def test_invariants_hold(self, seed, monkeypatch):
+        from repro.pipeline import ShardRouter, shard_result
+
+        # Keep the injected stall cheap so the corpus stays fast; the
+        # generous router deadline means a slow shard is latency, not error.
+        monkeypatch.setenv("REPRO_FAULT_SHARD_SLOW_SECONDS", "0.1")
+        n_shards = 4
+        schedule = ChaosSchedule.draw(seed, n_shards=n_shards)
+        scripted = ChaosSchedule.draw(seed, n_shards=n_shards)
+        inv = ChaosInvariants()
+        metrics = MetricsRegistry()
+        bm = make_bm(seed=seed)
+        result = preprocess(bm, PreprocessPlan(pattern=PATTERN))
+        shards = shard_result(result, n_shards=n_shards)
+        ref = bm.to_dense().astype(np.float64)
+        kills = sum(1 for a in scripted.shard_faults.values() if a == "kill")
+
+        config = BreakerConfig(failure_threshold=2, cooldown=0.02)
+        with breaker_scope(config, metrics=metrics):
+            with ShardRouter(shards, metrics=metrics, replicas=2,
+                             retry_policy=FAST, deadline=30.0) as router:
+                with inject(schedule):
+                    xs = [int_features(bm.n_cols, seed=200 + i)
+                          for i in range(6)]
+                    futures = [(x, router.submit(x)) for x in xs]
+                    for i, (x, fut) in enumerate(futures):
+                        outcome = inv.observe_future(
+                            fut, ref @ x, timeout=30.0,
+                            label=f"seed{seed}/shardreq{i}")
+                        # Failover must absorb every kill: with a spare
+                        # replica per shard no request may fail at all.
+                        inv.require(
+                            outcome.startswith("exact")
+                            or outcome.startswith("taxonomy"),
+                            f"seed{seed}/shardreq{i}: outcome {outcome}")
+                        inv.require(
+                            outcome == "exact",
+                            f"seed{seed}/shardreq{i}: request failed "
+                            f"({outcome}) despite a spare replica per shard")
+
+                # -- failover accounting: every kill was stepped over ------
+                load = router.shard_load()
+                inv.require(
+                    all(entry["alive"] >= 1 for entry in load),
+                    f"seed{seed}: a shard lost all replicas ({load})")
+                inv.require(
+                    router.n_failovers >= kills,
+                    f"seed{seed}: {router.n_failovers} failover(s) for "
+                    f"{kills} scripted kill(s)")
+
+                # -- convergence: faults consumed, serving is exact again --
+                time.sleep(config.cooldown + 0.01)
+                out = router.spmm(xs[0])
+                inv.require(
+                    np.array_equal(out, ref @ xs[0]),
+                    f"seed{seed}: post-fault request not bit-identical")
+                health = router.health()
+                inv.require(
+                    health["healthy"] and not health["degraded"],
+                    f"seed{seed}: router still degraded after faults "
+                    f"stopped ({health['unhealthy_shards']})")
+        record(seed, "shard", scripted, inv)
+
+    def test_scripted_deadline_and_failover(self, monkeypatch):
+        """Deterministic worst case: a killed shard *and* a slow shard.
+
+        Under a tight deadline the slow shard fails the request with
+        :class:`~repro.pipeline.resilience.DeadlineExceeded` (bounded, not
+        a hang); once the faults are consumed the router serves exactly,
+        the kill absorbed by the spare replica.
+        """
+        from repro.pipeline import DeadlineExceeded, ShardRouter, shard_result
+
+        monkeypatch.setenv("REPRO_FAULT_SHARD_SLOW_SECONDS", "0.5")
+        inv = ChaosInvariants()
+        schedule = ChaosSchedule(seed=999)
+        schedule.shard_faults = {0: "kill", 1: "slow"}
+        scripted = ChaosSchedule(seed=999)
+        scripted.shard_faults = {0: "kill", 1: "slow"}
+
+        bm = make_bm(seed=21)
+        result = preprocess(bm, PreprocessPlan(pattern=PATTERN))
+        ref = bm.to_dense().astype(np.float64)
+        x = int_features(bm.n_cols, seed=300)
+        with ShardRouter(shard_result(result, n_shards=4),
+                         replicas=2, retry_policy=FAST) as router:
+            with inject(schedule):
+                t0 = time.monotonic()
+                try:
+                    router.spmm(x, deadline=0.05)
+                except DeadlineExceeded:
+                    inv.require(time.monotonic() - t0 < 0.45,
+                                "deadline did not bound the wait")
+                else:
+                    inv.require(False, "slow shard beat a 50ms deadline")
+            # Faults consumed: the same request now merges exactly, and the
+            # killed replica was stepped over without losing the shard.
+            inv.require(np.array_equal(router.spmm(x), ref @ x),
+                        "post-fault request not bit-identical")
+            inv.require(router.n_failovers >= 1, "kill was not failed over")
+            inv.require(router.shard_load()[0]["alive"] == 1,
+                        "killed replica still counted alive")
+            inv.require(router.health()["healthy"],
+                        "router unhealthy with every shard alive")
+        record(999, "shard-scripted", scripted, inv)
