@@ -18,7 +18,7 @@ Usage::
                           [--float32] [--segmented]
     python -m repro stats [--metrics-file M.json] [--cache-dir DIR]
                           [--trace-file T.json [--chrome-out C.json]]
-    python -m repro doctor --cache-dir DIR [--selftest]
+    python -m repro doctor --cache-dir DIR [--selftest] [--shm-sweep]
 
 ``reorder`` writes the reordered (still symmetric) matrix and prints the
 conformity report; ``survey`` runs the best-pattern search and the modelled
@@ -52,8 +52,11 @@ decisions and segmented plan sidecars), and with ``--trace-file`` renders
 a span-tree export (``--chrome-out`` converts it to Chrome trace-event
 JSON for chrome://tracing or Perfetto); ``doctor`` fsck-checks a cache
 directory, quarantining corrupt artefacts and cleaning half-written temp
-files, and with ``--selftest`` runs a tiny operand through every
-compressible backend under a scoped breaker board.
+files, with ``--selftest`` runs a tiny operand through every
+compressible backend under a scoped breaker board, and with
+``--shm-sweep`` reclaims shared-memory segments orphaned by killed
+workers (``serve --shards N --executor process`` runs each shard replica
+as a forked worker over a zero-copy shm ring — see ``docs/sharding.md``).
 
 Output goes through the ``repro`` logger hierarchy (see
 :func:`repro.obs.logging_setup`); ``-v/--verbose`` raises it to DEBUG and
@@ -315,7 +318,7 @@ def _cmd_serve(args) -> int:
                 shards, metrics=metrics, windows=windows,
                 replicas=args.replicas, retry_policy=policy,
                 admission=admission, deadline=args.deadline,
-                recorder=recorder,
+                recorder=recorder, executor=args.executor, cache=cache,
             )
             holder["router"] = server
         else:
@@ -773,6 +776,18 @@ def _cmd_doctor(args) -> int:
     if report["corrupt"]:
         logger.info(f"{len(report['corrupt'])} corrupt artefact(s) quarantined; "
                     f"rerun `repro preprocess` to rebuild them")
+    if args.shm_sweep:
+        from .perf.shm import sweep_leaked_segments
+
+        reclaimed = sweep_leaked_segments(max_age_seconds=args.shm_age)
+        if reclaimed:
+            logger.info(f"reclaimed {len(reclaimed)} leaked shared-memory "
+                        f"segment(s) older than {args.shm_age:.0f}s:")
+            for name in reclaimed:
+                logger.info(f"  unlinked {name}")
+        else:
+            logger.info(f"no leaked shared-memory segments older than "
+                        f"{args.shm_age:.0f}s")
     failures = _backend_selftest() if args.selftest else 0
     if failures:
         logger.warning(f"{failures} backend(s) failed the self-test")
@@ -906,6 +921,13 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--replicas", type=int, default=1,
                     help="replicas per shard for failover and hot-shard "
                          "throughput (needs --shards > 1; default 1)")
+    sv.add_argument("--executor", choices=["thread", "process"],
+                    default="thread",
+                    help="shard replica back-end (needs --shards > 1): "
+                         "'thread' = in-process session lanes; 'process' = "
+                         "one forked worker per replica over a zero-copy "
+                         "shm ring — GIL-free shard parallelism "
+                         "(docs/sharding.md; default %(default)s)")
     sv.set_defaults(fn=_cmd_serve)
 
     sh = sub.add_parser("shard",
@@ -967,6 +989,14 @@ def build_parser() -> argparse.ArgumentParser:
     dr.add_argument("--selftest", action="store_true",
                     help="additionally run a tiny operand through every "
                          "compressible backend under a scoped breaker board")
+    dr.add_argument("--shm-sweep", action="store_true",
+                    help="reclaim shared-memory segments orphaned by killed "
+                         "workers: unlink repro-prefixed /dev/shm entries "
+                         "older than --shm-age not owned by this process "
+                         "(counted in shm_segments_leaked_total)")
+    dr.add_argument("--shm-age", type=float, default=300.0, metavar="SECONDS",
+                    help="minimum age before an orphaned segment is swept "
+                         "(default %(default)s)")
     dr.set_defaults(fn=_cmd_doctor)
     return p
 

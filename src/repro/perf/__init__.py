@@ -34,7 +34,7 @@ scaling benchmark (`benchmarks/bench_parallel_scaling.py`).
 
 from .batching import BatchPolicy, MicroBatcher
 from .engine import ExecutionPlan, build_plan, plan_for
-from .pool import PoolStats, SupervisionPolicy, WorkerPool
+from .pool import PoolStats, RestartWindow, SupervisionPolicy, WorkerPool
 from .segment import (
     RowSegment,
     RowSegmenter,
@@ -43,7 +43,17 @@ from .segment import (
     SegmentedPlan,
     build_segmented_plan,
 )
-from .shm import MatrixHandle, SharedMatrixBatch, attach_bitmatrix, live_segments
+from .shm import (
+    SEGMENT_PREFIX,
+    MatrixHandle,
+    SharedMatrixBatch,
+    attach_bitmatrix,
+    create_segment,
+    destroy_segment,
+    invalidate_attachment,
+    live_segments,
+    sweep_leaked_segments,
+)
 from .tuner import TunerDecision, tune
 
 __all__ = [
@@ -61,10 +71,16 @@ __all__ = [
     "TunerDecision",
     "tune",
     "PoolStats",
+    "RestartWindow",
     "SupervisionPolicy",
     "WorkerPool",
     "MatrixHandle",
     "SharedMatrixBatch",
+    "SEGMENT_PREFIX",
     "attach_bitmatrix",
+    "create_segment",
+    "destroy_segment",
+    "invalidate_attachment",
     "live_segments",
+    "sweep_leaked_segments",
 ]

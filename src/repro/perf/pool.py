@@ -40,8 +40,9 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 
 from ..obs.metrics import default_registry
+from . import shm
 
-__all__ = ["PoolStats", "SupervisionPolicy", "WorkerPool"]
+__all__ = ["PoolStats", "RestartWindow", "SupervisionPolicy", "WorkerPool"]
 
 logger = logging.getLogger("repro.perf.pool")
 
@@ -89,8 +90,69 @@ class SupervisionPolicy:
             raise ValueError("backoff values must be non-negative")
 
 
+class RestartWindow:
+    """Windowed restart accounting: crash-loop detection plus backoff.
+
+    The supervision logic every restartable worker shares — the pool's
+    executor and each :class:`~repro.pipeline.procshard.ProcessShardWorker`
+    lane alike: restarts recorded inside ``policy.restart_window`` seconds
+    count toward ``policy.max_restarts``; :attr:`exhausted` means the next
+    restart must surface as a crash instead of respawning, and
+    :meth:`backoff_seconds` gives the exponential pre-restart delay for
+    the *current* window depth.  Thread-safe; callers still decide what a
+    cap breach raises (the pool and the shard worker both raise
+    :class:`~repro.pipeline.resilience.WorkerCrashError`).
+    """
+
+    def __init__(self, policy: SupervisionPolicy):
+        self.policy = policy
+        self._times: deque[float] = deque()
+        self._lock = threading.Lock()
+
+    def prune(self, now: float | None = None) -> int:
+        """Drop restarts older than the window; returns the live count."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            while self._times and now - self._times[0] > self.policy.restart_window:
+                self._times.popleft()
+            return len(self._times)
+
+    @property
+    def count(self) -> int:
+        return self.prune()
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the windowed cap is hit — the next restart is a crash."""
+        return self.prune() >= self.policy.max_restarts
+
+    def backoff_seconds(self) -> float:
+        """Exponential delay before the next restart in this window."""
+        if not self.policy.backoff:
+            return 0.0
+        return min(self.policy.backoff * 2 ** self.prune(),
+                   self.policy.max_backoff)
+
+    def record(self, now: float | None = None) -> None:
+        """Count one restart at ``now`` (after any backoff sleep)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._times.append(now)
+
+
 def _noop() -> None:
     """Submitted by :meth:`WorkerPool.warm` to force worker spawn."""
+
+
+def _worker_init() -> None:
+    """Initializer for every fresh worker generation.
+
+    A forked worker inherits the parent's (or the previous generation's)
+    shared-memory attach memo; those entries hold mappings of segments the
+    new generation never attached — drop them so the memo only ever caches
+    this worker's own attachments.
+    """
+    shm.detach_all()
 
 
 class WorkerPool:
@@ -112,7 +174,7 @@ class WorkerPool:
         self._closed = False
         self._lock = threading.RLock()
         self.supervision = supervision or SupervisionPolicy()
-        self._restart_times: deque[float] = deque()
+        self._restarts = RestartWindow(self.supervision)
         self.stats = PoolStats()
 
     # -- lifecycle ---------------------------------------------------------
@@ -127,12 +189,7 @@ class WorkerPool:
         the next :meth:`restart` would raise
         :class:`~repro.pipeline.resilience.WorkerCrashError`.  ``/healthz``
         turns this into a 503."""
-        policy = self.supervision
-        with self._lock:
-            now = time.monotonic()
-            while self._restart_times and now - self._restart_times[0] > policy.restart_window:
-                self._restart_times.popleft()
-            return len(self._restart_times) >= policy.max_restarts
+        return self._restarts.exhausted
 
     def _ensure(self) -> ProcessPoolExecutor:
         with self._lock:
@@ -140,7 +197,8 @@ class WorkerPool:
                 raise RuntimeError("WorkerPool is closed")
             if self._executor is None:
                 self._executor = ProcessPoolExecutor(
-                    max_workers=self.n_workers, mp_context=self._mp_context
+                    max_workers=self.n_workers, mp_context=self._mp_context,
+                    initializer=_worker_init,
                 )
                 self.stats.spawns += 1
             return self._executor
@@ -212,10 +270,8 @@ class WorkerPool:
         """
         policy = self.supervision
         with self._lock:
-            now = time.monotonic()
-            while self._restart_times and now - self._restart_times[0] > policy.restart_window:
-                self._restart_times.popleft()
-            if len(self._restart_times) >= policy.max_restarts:
+            live = self._restarts.prune()
+            if live >= policy.max_restarts:
                 from ..obs import recorder as obs_recorder
                 from ..pipeline.resilience import WorkerCrashError  # lazy: cycle
 
@@ -224,21 +280,23 @@ class WorkerPool:
                 # still holds, and the raise may end the process.
                 obs_recorder.crash_dump(
                     "worker_crash_loop",
-                    error=f"{len(self._restart_times)} pool restarts within "
+                    error=f"{live} pool restarts within "
                           f"{policy.restart_window:.0f}s",
                 )
                 raise WorkerCrashError(
-                    f"worker pool crash-looping: {len(self._restart_times)} "
+                    f"worker pool crash-looping: {live} "
                     f"restarts within {policy.restart_window:.0f}s "
                     f"(cap {policy.max_restarts}); refusing to respawn",
-                    restarts=len(self._restart_times),
+                    restarts=live,
                     window=policy.restart_window,
                 )
-            if policy.backoff:
-                delay = min(policy.backoff * 2 ** len(self._restart_times),
-                            policy.max_backoff)
+            delay = self._restarts.backoff_seconds()
+            if delay:
                 time.sleep(delay)
-            self._restart_times.append(now)
+            self._restarts.record()
+            # The old generation's segments may be re-packed under recycled
+            # names; a stale parent-side attach memo would alias them.
+            shm.detach_all()
             old, self._executor = self._executor, None
             self.stats.restarts += 1
             if kill and old is not None:

@@ -32,14 +32,24 @@ Platforms without a usable shared-memory mount (``/dev/shm``) surface as
 ``OSError`` at :meth:`pack` time; callers fall back to pickled payloads
 (see ``reorder_many``).  :func:`repro.pipeline.faults.maybe_fail_shm` can
 inject that failure deterministically.
+
+Every segment this module creates carries the :data:`SEGMENT_PREFIX` name
+prefix, so a segment orphaned by a SIGKILLed owner (nobody left to unlink
+it) is recognizable on the shared-memory mount.  ``repro doctor`` calls
+:func:`sweep_leaked_segments` to reclaim aged orphans and count them into
+``shm_segments_leaked_total``.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+import secrets
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import numpy as np
 
@@ -48,18 +58,30 @@ from ..core.bitmatrix import BitMatrix
 __all__ = [
     "MatrixHandle",
     "SharedMatrixBatch",
+    "SEGMENT_PREFIX",
     "attach_bitmatrix",
+    "create_segment",
+    "destroy_segment",
     "live_segments",
     "detach_all",
+    "invalidate_attachment",
+    "sweep_leaked_segments",
 ]
 
 logger = logging.getLogger("repro.perf.shm")
 
 _WORD_BYTES = 8
 
+# Every segment name starts with this, so leaked segments (owner SIGKILLed
+# before it could unlink) are identifiable on /dev/shm and sweepable by
+# `repro doctor` without ever touching foreign applications' segments.
+SEGMENT_PREFIX = "repro-shm"
+
 # Segments created (and not yet unlinked) by *this* process, for tests and
 # leak auditing: reorder_many must leave this empty on every exit path.
-_LIVE: dict[str, "SharedMatrixBatch"] = {}
+# Values are the owning objects (a SharedMatrixBatch, a SharedMemory);
+# only the keys matter to the audit.
+_LIVE: dict[str, object] = {}
 
 # Worker-side cache of attached segments, keyed by name.  Bounded: a warm
 # pool outlives many batches and each batch uses a fresh segment.
@@ -102,7 +124,7 @@ class SharedMatrixBatch:
         total = sum(bm.words.nbytes for bm in matrices)
         if total <= 0:
             raise ValueError("batch has no packed words to share")
-        shm = shared_memory.SharedMemory(create=True, size=total)
+        shm = create_segment(total, label="batch")
         try:
             handles: list[MatrixHandle] = []
             offset = 0
@@ -118,8 +140,7 @@ class SharedMatrixBatch:
                 ))
                 offset += bm.words.nbytes
         except BaseException:
-            shm.close()
-            shm.unlink()
+            destroy_segment(shm)
             raise
         batch = cls(shm, handles)
         _LIVE[shm.name] = batch
@@ -165,6 +186,101 @@ class SharedMatrixBatch:
 def live_segments() -> list[str]:
     """Names of segments this process created and has not yet unlinked."""
     return sorted(_LIVE)
+
+
+def create_segment(size: int, *, label: str = "seg") -> shared_memory.SharedMemory:
+    """Create one fresh :data:`SEGMENT_PREFIX`-named segment of ``size`` bytes.
+
+    The segment is registered in the live-segment audit (this process owns
+    unlinking it — pair with :func:`destroy_segment`) and its name encodes
+    the creating pid plus a random token, so concurrent processes never
+    collide and :func:`sweep_leaked_segments` can recognize our segments.
+    """
+    if size <= 0:
+        raise ValueError("segment size must be positive")
+    name = f"{SEGMENT_PREFIX}-{label}-{os.getpid()}-{secrets.token_hex(4)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=size)
+    _LIVE[name] = shm
+    return shm
+
+
+def destroy_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink a :func:`create_segment` segment; idempotent.
+
+    Also drops any attach-memo entry for the name: a future attach to a
+    recycled name must map the new segment, not a stale cached one.
+    """
+    name = shm.name
+    _LIVE.pop(name, None)
+    invalidate_attachment(name)
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - platform quirk
+        logger.debug("closing shared segment %s failed", name, exc_info=True)
+    try:
+        shm.unlink()
+    except (OSError, FileNotFoundError):  # pragma: no cover
+        logger.debug("unlinking shared segment %s failed", name, exc_info=True)
+
+
+def sweep_leaked_segments(
+    max_age_seconds: float = 300.0,
+    *,
+    prefix: str = SEGMENT_PREFIX,
+    shm_dir: str = "/dev/shm",
+    metrics=None,
+) -> list[str]:
+    """Unlink aged orphan segments left behind by killed owners.
+
+    :func:`live_segments` only *lists* what this process still owns; a
+    worker that was SIGKILLed mid-batch leaves its segment on the mount
+    with nobody left to unlink it.  This pass — ``repro doctor``'s
+    shared-memory counterpart of ``ArtifactCache.fsck`` — removes every
+    ``prefix``-named segment older than ``max_age_seconds`` that this
+    process does not own, and counts each into
+    ``shm_segments_leaked_total``.  The age gate keeps a sweep from
+    racing segments that a *live* sibling process created moments ago.
+    Returns the reclaimed segment names; missing mounts sweep nothing.
+    """
+    from ..obs.metrics import default_registry
+
+    root = Path(shm_dir)
+    if max_age_seconds < 0:
+        raise ValueError("max_age_seconds must be non-negative")
+    if not root.is_dir():
+        return []
+    # NB: an empty registry is falsy (it has __len__), so `or` would drop it.
+    registry = default_registry() if metrics is None else metrics
+    counter = registry.counter(
+        "shm_segments_leaked_total",
+        help="orphaned shared-memory segments reclaimed by the doctor sweep",
+    )
+    now = time.time()
+    reclaimed: list[str] = []
+    for path in sorted(root.glob(f"{prefix}-*")):
+        name = path.name
+        if name in _LIVE:
+            continue  # still owned by this process — not a leak
+        try:
+            age = now - path.stat().st_mtime
+        except OSError:
+            continue  # vanished mid-sweep: its owner cleaned it up
+        if age < max_age_seconds:
+            continue
+        invalidate_attachment(name)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            continue
+        except OSError:  # pragma: no cover - permissions/races
+            logger.warning("could not reclaim leaked segment %s", name,
+                           exc_info=True)
+            continue
+        counter.inc()
+        reclaimed.append(name)
+        logger.info("reclaimed leaked shared-memory segment %s (%.0fs old)",
+                    name, age)
+    return reclaimed
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -229,8 +345,26 @@ def attach_bitmatrix(handle: MatrixHandle) -> BitMatrix:
     return _view_from(_cached_segment(handle.segment), handle)
 
 
+def invalidate_attachment(name: str) -> None:
+    """Drop one memoized attachment (the segment was or will be unlinked)."""
+    shm = _ATTACHED.pop(name, None)
+    if shm is not None:
+        try:
+            shm.close()
+        except (OSError, BufferError):  # pragma: no cover
+            pass
+
+
 def detach_all() -> None:
-    """Drop every cached worker-side attachment (test hygiene)."""
+    """Drop every cached attachment — the memo's explicit invalidation.
+
+    Called on :meth:`repro.perf.pool.WorkerPool.restart` (parent side and,
+    via the executor initializer, in each fresh worker generation, whose
+    fork-inherited memo maps segments the previous generation attached)
+    and by tests for hygiene.  A re-attach after this maps the segment
+    anew, so restarted workers serve from live bytes, never stale private
+    mappings.
+    """
     while _ATTACHED:
         _, shm = _ATTACHED.popitem(last=False)
         try:

@@ -26,6 +26,10 @@
   artefacts (:func:`build_shards`) and the fan-out/merge
   :class:`ShardRouter` with replica failover, hot-shard replication, and
   online rebalance.
+* :mod:`repro.pipeline.procshard` — the router's ``executor="process"``
+  back-end: one supervised, fork-spawned :class:`ProcessShardWorker` per
+  shard replica, serving over zero-copy shared-memory rings so GIL-bound
+  shards run truly in parallel and a killed worker costs one failover.
 """
 
 from .cache import (
@@ -81,6 +85,7 @@ from .resilience import (
     RetryPolicy,
     WorkerCrashError,
 )
+from .procshard import ProcessShardWorker
 from .serving import ServingSession
 from .sharded import (
     ShardRouter,
@@ -113,6 +118,7 @@ __all__ = [
     "shard_cache_key",
     "adjacency_fingerprint",
     "ServingSession",
+    "ProcessShardWorker",
     "ShardSpec",
     "ShardSet",
     "ShardRouter",

@@ -29,7 +29,14 @@ Three hook sites consult the active plan:
   replicas call :func:`shard_directive` before serving a sub-request;
   ``"kill"`` makes the replica die (exercising replica failover and the
   degraded-health path), ``"slow"`` injects a stall (exercising
-  deadline-aware fan-out merging).
+  deadline-aware fan-out merging);
+* **process shard workers** — a process-mode shard replica
+  (:class:`repro.pipeline.procshard.ProcessShardWorker`) also consults
+  :func:`procshard_directive` before each ring round-trip; ``"sigkill"``
+  sends the worker process a *real* ``SIGKILL`` mid-request (exercising
+  death detection, replica failover, and respawn-with-reattach), and
+  ``"stall"`` makes the worker sleep inside the serve loop (exercising
+  the job-timeout watchdog and deadline-bounded merging).
 
 Every hook is a cheap no-op when no plan is active, and plans record what
 they injected in :attr:`FaultPlan.events` so tests can assert the faults
@@ -58,6 +65,7 @@ __all__ = [
     "maybe_fail_batch",
     "worker_directive",
     "shard_directive",
+    "procshard_directive",
 ]
 
 
@@ -69,9 +77,9 @@ class InjectedFault(RuntimeError):
 class FaultEvent:
     """Record of one injected fault: where, on what, and which action."""
 
-    site: str  # "kernel" | "cache" | "worker" | "shm" | "batch" | "shard"
+    site: str  # "kernel" | "cache" | "worker" | "shm" | "batch" | "shard" | "procshard"
     target: str  # backend name, cache key, job/shard index, or fixed site tag
-    action: str  # "raise" | "corrupt" | "exit" | "kill" | "slow"
+    action: str  # "raise" | "corrupt" | "exit" | "kill" | "slow" | "sigkill" | "stall"
 
 
 @dataclass
@@ -92,7 +100,11 @@ class FaultPlan:
     ``shard_faults`` maps a shard index to ``"kill"`` (the next replica
     serving that shard dies, exercising the router's replica failover) or
     ``"slow"`` (the next sub-request on that shard stalls, exercising
-    deadline-aware fan-out); each directive fires once.
+    deadline-aware fan-out); each directive fires once.  ``proc_faults``
+    is the process-executor analogue: a shard index maps to ``"sigkill"``
+    (the worker process is killed for real, mid-request) or ``"stall"``
+    (the worker sleeps inside its serve loop); each fires once, on the
+    next ring round-trip touching that shard.
     """
 
     kernel_failures: dict[str, int] = field(default_factory=dict)
@@ -101,6 +113,7 @@ class FaultPlan:
     shm_failures: int = 0
     batch_crashes: int = 0
     shard_faults: dict[int, str] = field(default_factory=dict)
+    proc_faults: dict[int, str] = field(default_factory=dict)
     events: list[FaultEvent] = field(default_factory=list)
 
     def take_kernel_failure(self, backend: str) -> bool:
@@ -132,6 +145,14 @@ class FaultPlan:
             if action not in ("kill", "slow"):
                 raise ValueError(f"unknown shard fault action {action!r}")
             self.events.append(FaultEvent("shard", str(index), action))
+        return action
+
+    def take_proc_fault(self, index: int) -> str | None:
+        action = self.proc_faults.pop(index, None)
+        if action is not None:
+            if action not in ("sigkill", "stall"):
+                raise ValueError(f"unknown procshard fault action {action!r}")
+            self.events.append(FaultEvent("procshard", str(index), action))
         return action
 
     def take_shm_failure(self) -> bool:
@@ -217,6 +238,15 @@ def shard_directive(index: int) -> str | None:
     return plan.take_shard_fault(index)
 
 
+def procshard_directive(index: int) -> str | None:
+    """The scripted process-worker fault (``"sigkill"`` / ``"stall"``) for
+    shard ``index``, if any."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.take_proc_fault(index)
+
+
 # -- seeded chaos --------------------------------------------------------------
 
 @dataclass
@@ -252,6 +282,9 @@ class ChaosSchedule(FaultPlan):
         n_shards: int = 0,
         shard_actions: tuple[str, ...] = ("kill", "slow"),
         shard_fault_rate: float = 0.5,
+        n_proc_shards: int = 0,
+        proc_actions: tuple[str, ...] = ("sigkill", "stall"),
+        proc_fault_rate: float = 0.5,
     ) -> "ChaosSchedule":
         """Draw one schedule from ``seed``.
 
@@ -259,10 +292,12 @@ class ChaosSchedule(FaultPlan):
         excluded so every fallback ladder keeps a working terminal rung and
         the invariant "every request resolves" stays satisfiable.
         ``n_jobs`` sizes the worker-directive draw (0 = no worker faults);
-        ``n_shards`` sizes the shard-directive draw (0 = no shard faults).
-        The shard draw happens after every other draw, so a schedule with
-        ``n_shards=0`` is byte-identical to a pre-shard one for the same
-        seed — the fixed replay corpus keeps its meaning.
+        ``n_shards`` sizes the shard-directive draw (0 = no shard faults);
+        ``n_proc_shards`` sizes the process-worker draw (0 = none).
+        New draws always *append* to the stream — shard after every older
+        site, procshard after shard — so a schedule that leaves the new
+        knob at 0 is byte-identical to a pre-knob one for the same seed:
+        the fixed replay corpus keeps its meaning.
         """
         rng = random.Random(seed)
         plan = cls(seed=seed)
@@ -280,6 +315,9 @@ class ChaosSchedule(FaultPlan):
         for index in range(n_shards):
             if rng.random() < shard_fault_rate:
                 plan.shard_faults[index] = rng.choice(list(shard_actions))
+        for index in range(n_proc_shards):
+            if rng.random() < proc_fault_rate:
+                plan.proc_faults[index] = rng.choice(list(proc_actions))
         return plan
 
     def describe(self) -> dict:
@@ -292,6 +330,7 @@ class ChaosSchedule(FaultPlan):
             "shm_failures": self.shm_failures,
             "batch_crashes": self.batch_crashes,
             "shard_faults": {str(k): v for k, v in self.shard_faults.items()},
+            "proc_faults": {str(k): v for k, v in self.proc_faults.items()},
         }
 
 

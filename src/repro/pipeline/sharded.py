@@ -277,16 +277,29 @@ _SLOW_SHARD_ENV = "REPRO_FAULT_SHARD_SLOW_SECONDS"
 
 
 class _Replica:
-    """One shard replica: a session plus its serial execution lane."""
+    """One shard replica: an executor back-end plus its serial lane.
 
-    __slots__ = ("shard_index", "replica_index", "session", "lane", "alive",
-                 "in_flight", "served", "failures", "serve_lock")
+    The back-end is either an in-process :class:`ServingSession`
+    (``executor="thread"``) or a
+    :class:`~repro.pipeline.procshard.ProcessShardWorker`
+    (``executor="process"``); exactly one of ``session`` / ``worker`` is
+    set.  ``operand`` is the shard operand this replica serves, kept here
+    so replication and rebalance never need to reach into a back-end.
+    """
+
+    __slots__ = ("shard_index", "replica_index", "session", "worker",
+                 "operand", "lane", "alive", "in_flight", "served",
+                 "failures", "serve_lock")
 
     def __init__(self, shard_index: int, replica_index: int,
-                 session: ServingSession):
+                 session: ServingSession | None = None, *, worker=None,
+                 operand=None):
         self.shard_index = shard_index
         self.replica_index = replica_index
         self.session = session
+        self.worker = worker
+        self.operand = operand if operand is not None else (
+            session.operand if session is not None else None)
         self.lane = ThreadPoolExecutor(
             max_workers=1,
             thread_name_prefix=f"repro-shard{shard_index}r{replica_index}")
@@ -298,7 +311,9 @@ class _Replica:
         # per-operand): the lane serializes a replica's own queue, but a
         # failover from another replica's lane calls this session from a
         # foreign thread — the lock makes that path safe and stays
-        # uncontended in normal operation.
+        # uncontended in normal operation.  (Process workers serialize on
+        # their own ring lock; this lock still guards the ring's parent
+        # side on the failover path.)
         self.serve_lock = threading.Lock()
 
 
@@ -335,6 +350,19 @@ class ShardRouter:
     charge their kernel time to their shard's own virtual clock, so the
     multi-device makespan is ``max`` over the per-device clocks — the
     paper's §5.2 multi-GPU accounting.
+
+    ``executor`` picks the replica back-end: ``"thread"`` (default) runs
+    each replica as an in-process :class:`ServingSession` on its own lane;
+    ``"process"`` runs each replica as a persistent
+    :class:`~repro.pipeline.procshard.ProcessShardWorker` — a forked
+    worker process that attaches the shard operand once (from ``cache``
+    when the shard has a cache key) and serves over a zero-copy shm ring,
+    so CPU-bound shards escape the GIL and a SIGKILLed worker costs one
+    failover, not the fabric.  Fan-out/merge, admission, deadline,
+    failover, and rebalance semantics are identical in both modes, and so
+    are the merged bits.  ``executor_options`` forwards construction knobs
+    to each worker (``supervision``, ``h_max``, ``n_slots``,
+    ``spawn_timeout``); see ``docs/sharding.md`` ("Executors").
     """
 
     def __init__(
@@ -353,11 +381,17 @@ class ShardRouter:
         window_seconds: float = 60.0,
         max_pipeline: int | None = None,
         session_kwargs: dict | None = None,
+        executor: str = "thread",
+        cache=None,
+        executor_options: dict | None = None,
     ):
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         if not shards.specs:
             raise ValueError("cannot route over an empty ShardSet")
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}")
         if devices is not None and len(devices) != shards.n_shards:
             raise ValueError(
                 f"devices list has {len(devices)} entries for "
@@ -377,7 +411,11 @@ class ShardRouter:
         self._recorder = recorder
         self._retry_policy = retry_policy
         self._session_kwargs = dict(session_kwargs or {})
+        self.executor = executor
+        self._cache = cache
+        self._executor_options = dict(executor_options or {})
         self._stall_seconds = float(os.environ.get(_SLOW_SHARD_ENV, "0.25"))
+        self._retired: list[_Replica] = []
         self._lock = threading.Lock()
         self._rr = 0
         self.n_requests = 0
@@ -418,6 +456,9 @@ class ShardRouter:
 
     def _make_replica(self, shard_index: int, replica_index: int,
                       operand) -> _Replica:
+        if self.executor == "process":
+            return self._make_process_replica(shard_index, replica_index,
+                                              operand)
         if replica_index > 0:
             # Replicas must NOT share the operand object: the engine's plan
             # cache is keyed by operand identity and plans carry mutable
@@ -443,6 +484,38 @@ class ShardRouter:
             **kwargs,
         )
         return _Replica(shard_index, replica_index, session)
+
+    def _make_process_replica(self, shard_index: int, replica_index: int,
+                              operand) -> _Replica:
+        """One shard replica as a forked worker over a shm ring.
+
+        No operand deepcopy even for extra replicas: each worker computes
+        in its own address space, so plan scratch can never be shared.
+        The worker prefers re-attaching the shard artefact from the cache
+        (its sidecar plan included); post-rebalance shards have no cache
+        key and fall back to inheriting the in-memory operand via fork.
+        """
+        from .procshard import ProcessShardWorker
+
+        specs = self.shards.specs
+        plans = self.shards.plans
+        cache_key = (specs[shard_index].cache_key
+                     if shard_index < len(specs) else None)
+        cache_dir = (str(self._cache.cache_dir)
+                     if self._cache is not None and cache_key else None)
+        kwargs = dict(self._session_kwargs)
+        if self._devices is not None:
+            kwargs.setdefault("device", self._devices[shard_index])
+        worker = ProcessShardWorker(
+            shard_index, replica_index, operand,
+            plan=plans[shard_index] if shard_index < len(plans) else None,
+            cache_dir=cache_dir, cache_key=cache_key,
+            session_kwargs=kwargs, metrics=self._metrics,
+            recorder=self._recorder,
+            **self._executor_options,
+        )
+        return _Replica(shard_index, replica_index, worker=worker,
+                        operand=operand)
 
     def _set_replica_gauge(self, shard_index: int, count: int) -> None:
         if self._metrics is not None:
@@ -539,6 +612,18 @@ class ShardRouter:
 
     def _serve_replica(self, rep: _Replica, xr: np.ndarray) -> np.ndarray:
         action = faults.shard_directive(rep.shard_index)
+        if rep.worker is not None:
+            # Process mode: the directive crosses the boundary for real —
+            # "kill" SIGKILLs the worker mid-request (the ring detects the
+            # death and this raises WorkerCrashError for the failover
+            # path; the *next* serve respawns it), "slow" stalls inside
+            # the worker's serve loop.  The replica itself stays alive:
+            # process deaths self-heal, unlike a thread-mode session.
+            mapped = {"kill": "sigkill", "slow": "stall"}.get(action)
+            with rep.serve_lock:
+                out = rep.worker.serve(xr, action=mapped)
+            rep.served += 1
+            return out
         if action == "kill":
             rep.alive = False
             rep.failures += 1
@@ -564,6 +649,10 @@ class ShardRouter:
             except PipelineError as exc:
                 rep.failures += 1
                 self.n_failovers += 1
+                if exc.context.get("crash_loop"):
+                    # A crash-looping worker is done respawning: take the
+                    # replica out of rotation so _pick stops offering it.
+                    rep.alive = False
                 if self._metrics is not None:
                     self._metrics.counter(
                         "router_failovers_total",
@@ -704,7 +793,7 @@ class ShardRouter:
         """
         with self._lock:
             group = self._replicas[shard_index]
-            operand = group[0].session.operand
+            operand = group[0].operand
             rep = self._make_replica(shard_index, len(group), operand)
             group.append(rep)
             count = len(group)
@@ -756,7 +845,7 @@ class ShardRouter:
             return None
         with self._lock:
             old_groups = self._replicas
-            operand = old_groups[hot][0].session.operand
+            operand = old_groups[hot][0].operand
             hot_replicas = len(old_groups[hot])
         halves = [ShardSpec(0, 0, mid - spec.start),
                   ShardSpec(1, mid - spec.start, spec.size)]
@@ -814,6 +903,14 @@ class ShardRouter:
         for i, group in enumerate(self._replicas):
             self._set_replica_gauge(i, len(group))
         for rep in retired:
+            if rep.worker is not None:
+                # Queue the worker shutdown *behind* any in-flight ring
+                # round-trip on its own lane: the old layout finishes its
+                # requests, then the process exits and the segment unlinks.
+                rep.lane.submit(rep.worker.close)
+        with self._lock:
+            self._retired.extend(retired)
+        for rep in retired:
             rep.lane.shutdown(wait=False)  # drains queued work, then exits
         self.n_rebalances += 1
         obs_events.emit("router.rebalance", shard=hot, at=mid,
@@ -866,10 +963,19 @@ class ShardRouter:
         self._front.shutdown(wait=True)
         with self._lock:
             groups = list(self._replicas)
+            retired = list(self._retired)
+            self._retired = []
         for group in groups:
             for rep in group:
                 rep.lane.shutdown(wait=True)
-                rep.session.close()
+                if rep.worker is not None:
+                    rep.worker.close()  # joins the process, unlinks the ring
+                else:
+                    rep.session.close()
+        for rep in retired:
+            rep.lane.shutdown(wait=True)  # runs any queued worker.close
+            if rep.worker is not None:
+                rep.worker.close()  # idempotent: covers a skipped queue
 
     def __enter__(self) -> "ShardRouter":
         return self
@@ -881,4 +987,4 @@ class ShardRouter:
     def __repr__(self) -> str:
         return (f"ShardRouter(n_shards={self.n_shards}, "
                 f"backend={self.shards.backend!r}, shape={self.shape}, "
-                f"requests={self.n_requests})")
+                f"executor={self.executor!r}, requests={self.n_requests})")

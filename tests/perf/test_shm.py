@@ -99,3 +99,117 @@ class TestBitMatrixFromBuffer:
         bm = batch(1)[0]
         with pytest.raises(ValueError):
             BitMatrix.from_buffer(bm.words, bm.n_rows + 1, bm.n_cols)
+
+
+class TestSegmentHelpers:
+    def test_create_destroy_round_trip(self):
+        from repro.perf.shm import SEGMENT_PREFIX, create_segment, destroy_segment
+
+        seg = create_segment(128, label="t")
+        assert seg.name.startswith(f"{SEGMENT_PREFIX}-t-")
+        assert seg.name in live_segments()
+        destroy_segment(seg)
+        assert seg.name not in live_segments()
+        destroy_segment(seg)  # idempotent
+
+    def test_create_rejects_degenerate_size(self):
+        from repro.perf.shm import create_segment
+
+        with pytest.raises(ValueError):
+            create_segment(0)
+
+
+class TestLeakSweep:
+    def test_sweeps_aged_orphans_only(self, tmp_path):
+        import os
+
+        from repro.obs import MetricsRegistry
+        from repro.perf.shm import SEGMENT_PREFIX, sweep_leaked_segments
+
+        old = tmp_path / f"{SEGMENT_PREFIX}-dead-1-aaaa"
+        young = tmp_path / f"{SEGMENT_PREFIX}-dead-1-bbbb"
+        foreign = tmp_path / "someone-elses-segment"
+        for p in (old, young, foreign):
+            p.write_bytes(b"x" * 16)
+        os.utime(old, (0, 0))  # ancient
+
+        metrics = MetricsRegistry()
+        reclaimed = sweep_leaked_segments(
+            max_age_seconds=60.0, shm_dir=str(tmp_path), metrics=metrics)
+        assert reclaimed == [old.name]
+        assert not old.exists()
+        assert young.exists() and foreign.exists()  # age gate + prefix gate
+        assert metrics.get("shm_segments_leaked_total").value == 1.0
+
+    def test_never_sweeps_own_live_segments(self, tmp_path):
+        from repro.perf.shm import create_segment, destroy_segment, sweep_leaked_segments
+
+        seg = create_segment(64, label="own")
+        try:
+            # Point the sweep at the real mount with a zero age gate: the
+            # segment is in this process's live set, so it must survive.
+            reclaimed = sweep_leaked_segments(max_age_seconds=0.0)
+            assert seg.name not in reclaimed
+            assert seg.name in live_segments()
+        finally:
+            destroy_segment(seg)
+
+    def test_missing_mount_sweeps_nothing(self, tmp_path):
+        from repro.perf.shm import sweep_leaked_segments
+
+        assert sweep_leaked_segments(shm_dir=str(tmp_path / "nope")) == []
+
+    def test_negative_age_rejected(self):
+        from repro.perf.shm import sweep_leaked_segments
+
+        with pytest.raises(ValueError):
+            sweep_leaked_segments(max_age_seconds=-1.0)
+
+
+class TestAttachMemo:
+    def test_memo_is_bounded(self):
+        from repro.perf import shm as shm_mod
+
+        batches = [SharedMatrixBatch.pack(batch(1, seed=100 + i))
+                   for i in range(shm_mod._ATTACH_CACHE_CAP + 3)]
+        try:
+            for shared in batches:
+                attach_bitmatrix(shared.handles[0])
+            assert len(shm_mod._ATTACHED) <= shm_mod._ATTACH_CACHE_CAP
+        finally:
+            detach_all()
+            for shared in batches:
+                shared.dispose()
+
+    def test_detach_all_empties_memo(self):
+        from repro.perf import shm as shm_mod
+
+        with SharedMatrixBatch.pack(batch(1)) as shared:
+            attach_bitmatrix(shared.handles[0])
+            assert shared.name in shm_mod._ATTACHED
+            detach_all()
+            assert shm_mod._ATTACHED == {}
+
+    def test_pool_restart_invalidates_parent_memo(self):
+        from repro.perf import WorkerPool
+        from repro.perf import shm as shm_mod
+
+        with SharedMatrixBatch.pack(batch(1)) as shared:
+            attach_bitmatrix(shared.handles[0])
+            assert shared.name in shm_mod._ATTACHED
+            with WorkerPool(1) as pool:
+                pool.warm()
+                pool.restart(kill=True)
+                # The restart dropped the stale parent-side attachment: a
+                # recycled segment name can never alias an old mapping.
+                assert shm_mod._ATTACHED == {}
+
+    def test_invalidate_attachment_single_name(self):
+        from repro.perf import shm as shm_mod
+        from repro.perf.shm import invalidate_attachment
+
+        with SharedMatrixBatch.pack(batch(1)) as shared:
+            attach_bitmatrix(shared.handles[0])
+            invalidate_attachment(shared.name)
+            assert shared.name not in shm_mod._ATTACHED
+            invalidate_attachment(shared.name)  # idempotent

@@ -342,3 +342,140 @@ class TestShardChaos:
             inv.require(router.health()["healthy"],
                         "router unhealthy with every shard alive")
         record(999, "shard-scripted", scripted, inv)
+
+
+PROC_SEEDS = (2, 5, 7, 14)
+
+
+class TestProcShardChaos:
+    """Process-executor invariants: real SIGKILLs, stalls, and no leaks.
+
+    The thread-mode shard corpus injects *simulated* kills; here the
+    directives cross the process boundary for real — ``sigkill`` delivers
+    ``SIGKILL`` to a worker mid-request, ``stall`` wedges one inside its
+    serve loop.  With ``replicas=2`` every request must still resolve
+    bit-identically via replica failover, peers' in-flight requests must
+    be untouched, the killed worker must self-heal, and the shared-memory
+    mount must be clean after ``close()``.
+    """
+
+    @pytest.mark.parametrize("seed", PROC_SEEDS)
+    def test_invariants_hold(self, seed, monkeypatch):
+        from repro.perf.shm import live_segments
+        from repro.pipeline import ShardRouter, shard_result
+
+        monkeypatch.setenv("REPRO_FAULT_SHARD_SLOW_SECONDS", "0.1")
+        n_shards = 4
+        schedule = ChaosSchedule.draw(seed, n_proc_shards=n_shards)
+        scripted = ChaosSchedule.draw(seed, n_proc_shards=n_shards)
+        inv = ChaosInvariants()
+        bm = make_bm(seed=seed)
+        result = preprocess(bm, PreprocessPlan(pattern=PATTERN))
+        ref = bm.to_dense().astype(np.float64)
+        sigkills = sum(1 for a in scripted.proc_faults.values()
+                       if a == "sigkill")
+        segments_before = set(live_segments())
+
+        with ShardRouter(shard_result(result, n_shards=n_shards),
+                         executor="process", replicas=2,
+                         retry_policy=FAST, deadline=30.0) as router:
+            with inject(schedule):
+                xs = [int_features(bm.n_cols, seed=400 + i)
+                      for i in range(6)]
+                futures = [(x, router.submit(x)) for x in xs]
+                for i, (x, fut) in enumerate(futures):
+                    outcome = inv.observe_future(
+                        fut, ref @ x, timeout=30.0,
+                        label=f"seed{seed}/procreq{i}")
+                    # A spare replica per shard absorbs every real kill:
+                    # no request may fail, let alone hang.
+                    inv.require(
+                        outcome == "exact",
+                        f"seed{seed}/procreq{i}: request failed "
+                        f"({outcome}) despite a spare replica per shard")
+
+            inv.require(
+                router.n_failovers >= sigkills,
+                f"seed{seed}: {router.n_failovers} failover(s) for "
+                f"{sigkills} scripted sigkill(s)")
+
+            # Self-heal: killed workers respawn on their next pick, so
+            # after another round every replica is alive again.
+            for i in range(2):
+                out = router.spmm(int_features(bm.n_cols, seed=500 + i))
+            inv.require(
+                all(entry["alive"] == 2 for entry in router.shard_load()),
+                f"seed{seed}: a killed worker did not self-heal "
+                f"({router.shard_load()})")
+            out = router.spmm(xs[0])
+            inv.require(
+                np.array_equal(out, ref @ xs[0]),
+                f"seed{seed}: post-fault request not bit-identical")
+            health = router.health()
+            inv.require(
+                health["healthy"] and not health["degraded"],
+                f"seed{seed}: router degraded after faults stopped")
+        inv.require(
+            set(live_segments()) == segments_before,
+            f"seed{seed}: shm segments leaked past close() "
+            f"({sorted(set(live_segments()) - segments_before)})")
+        record(seed, "procshard", scripted, inv)
+
+    def test_sigkill_mid_request_peers_unaffected(self):
+        """The acceptance scenario, deterministically scripted.
+
+        One shard's worker is SIGKILLed *mid-request* while every shard
+        has sub-requests in flight: the killed sub-request fails over to
+        the spare replica within the deadline, the peers' in-flight
+        sub-requests complete untouched, and the mount is clean after
+        ``close()``.
+        """
+        from repro.perf.shm import live_segments
+        from repro.pipeline import ShardRouter, shard_result
+
+        inv = ChaosInvariants()
+        schedule = ChaosSchedule(seed=998)
+        schedule.proc_faults = {0: "sigkill"}
+        scripted = ChaosSchedule(seed=998)
+        scripted.proc_faults = {0: "sigkill"}
+
+        bm = make_bm(seed=23)
+        result = preprocess(bm, PreprocessPlan(pattern=PATTERN))
+        ref = bm.to_dense().astype(np.float64)
+        segments_before = set(live_segments())
+        with ShardRouter(shard_result(result, n_shards=4),
+                         executor="process", replicas=2) as router:
+            killed_pids = [rep.worker.pid
+                           for rep in router._replicas[0]]
+            with inject(schedule):
+                xs = [int_features(bm.n_cols, seed=600 + i)
+                      for i in range(4)]
+                t0 = time.monotonic()
+                futures = [(x, router.submit(x)) for x in xs]
+                for i, (x, fut) in enumerate(futures):
+                    outcome = inv.observe_future(
+                        fut, ref @ x, timeout=10.0, label=f"sigkill/req{i}")
+                    inv.require(outcome == "exact",
+                                f"sigkill/req{i}: outcome {outcome}")
+                inv.require(time.monotonic() - t0 < 10.0,
+                            "failover did not resolve within the deadline")
+            inv.require(router.n_failovers == 1,
+                        f"expected exactly one failover, saw "
+                        f"{router.n_failovers}")
+            # The real kill reached a real process: one of shard 0's
+            # original worker pids is gone (its replica respawns lazily).
+            gone = [pid for pid in killed_pids if not _pid_alive(pid)]
+            inv.require(len(gone) >= 1, "no worker process was killed")
+        inv.require(set(live_segments()) == segments_before,
+                    "shm segments leaked past close()")
+        record(998, "procshard-scripted", scripted, inv)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover
+        return True
+    return True

@@ -459,7 +459,7 @@ class TestDrainAndClose:
     def test_raising_flush_resolves_all_futures(self):
         """Satellite fix: a flush that raises during close must not leave
         queued futures forever-pending."""
-        from repro.perf.batching import BatchPolicy
+        from repro.perf.batching import BatchPolicy, MicroBatcher
 
         bm, session = session_for(
             make_bm(),
@@ -467,13 +467,17 @@ class TestDrainAndClose:
             # request is still queued when the flush dies.
             batch_policy=BatchPolicy(max_delay=30.0, max_requests=1),
         )
-        futures = [session.submit(int_features(bm.n_cols)) for _ in range(2)]
-        batcher = session.batcher
 
         def explode(batch):
             raise KeyboardInterrupt("operator hit ctrl-c mid-drain")
 
+        # Build the batcher and install the exploding flush *before* any
+        # submit: with max_requests=1 the flusher thread serves the first
+        # batch as soon as it lands, so patching after submit races it.
+        batcher = MicroBatcher(session, session.batch_policy)
         batcher._run_batch_inner = explode
+        session._batcher = batcher
+        futures = [session.submit(int_features(bm.n_cols)) for _ in range(2)]
         with pytest.raises(KeyboardInterrupt):
             session.close(drain=True)
         for fut in futures:

@@ -432,3 +432,94 @@ class TestPerShardDevices:
             assert len(router._devices) == router.n_shards
             known = [id(d) for d in devices]
             assert all(id(d) in known for d in router._devices)
+
+
+class TestProcessExecutor:
+    """The same fabric semantics when replicas are worker processes.
+
+    The process executor must be observably interchangeable with the
+    thread executor: same merged bits, same failover accounting, same
+    rebalance behaviour — only the isolation boundary differs.
+    """
+
+    @pytest.mark.parametrize("backend", ["hybrid", "csr", "dense"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 4])
+    def test_matches_single_session(self, backend, n_shards):
+        bm = make_bm(seed=3, n=40)
+        result = preprocess(
+            bm, PreprocessPlan(pattern=PATTERN, backend=backend, max_iter=3))
+        session = ServingSession.from_result(result)
+        x = int_features(40, h=5, seed=7)
+        with ShardRouter(shard_result(result, n_shards=n_shards),
+                         executor="process") as router:
+            out = router.spmm(x)
+        assert np.array_equal(out, session.spmm(x))
+        session.close()
+
+    def test_unknown_executor_rejected(self, hybrid_result):
+        with pytest.raises(ValueError, match="executor"):
+            ShardRouter(shard_result(hybrid_result, n_shards=2),
+                        executor="fiber")
+
+    def test_injected_kill_is_one_failover_then_self_heal(self, hybrid_result):
+        x = int_features(48, seed=6)
+        ref = make_bm().to_dense().astype(np.float64) @ x
+        shards = shard_result(hybrid_result, n_shards=2)
+        with ShardRouter(shards, executor="process", replicas=2) as router:
+            with inject(FaultPlan(shard_faults={0: "kill"})):
+                # A real SIGKILL mid-request: the spare replica absorbs it.
+                assert np.array_equal(router.spmm(x), ref)
+            assert router.n_failovers == 1
+            # Unlike a thread-mode kill, the process replica self-heals:
+            # the dead worker respawns on its next pick, so the shard is
+            # back to full strength without an operator action.
+            assert np.array_equal(router.spmm(x), ref)
+            assert all(entry["alive"] == 2 for entry in router.shard_load())
+
+    def test_rebalance_stays_exact_with_workers(self, hybrid_result):
+        x = int_features(48, seed=2)
+        ref = make_bm().to_dense().astype(np.float64) @ x
+        with ShardRouter(shard_result(hybrid_result, n_shards=2),
+                         executor="process") as router:
+            router.spmm(x)
+            assert router.rebalance() is not None
+            assert router.n_shards == 3
+            # Split halves have no cache key: the fresh workers fall back
+            # to inheriting the in-memory operand through fork.
+            for group in router._replicas:
+                for rep in group:
+                    assert rep.worker.attach_source in ("inherited", "cache")
+            assert np.array_equal(router.spmm(x), ref)
+
+    def test_pool_restart_reattaches_and_serves_identically(self, tmp_path):
+        # The supervision machinery the workers reuse must itself keep the
+        # attach lifecycle straight: after WorkerPool.restart(kill=True)
+        # the fresh generation re-attaches shard artefacts from the cache
+        # and a rebuilt router serves the same bits as before the kill.
+        from repro.perf import WorkerPool
+
+        bm = make_bm(seed=9)
+        plan = PreprocessPlan(pattern=PATTERN, max_iter=3)
+        cache = ArtifactCache(tmp_path)
+        build_shards(bm, plan, n_shards=2, cache=cache)
+        x = int_features(48, seed=3)
+        ref = bm.to_dense().astype(np.float64) @ x
+
+        with WorkerPool(1) as pool:
+            pool.warm()
+            shards = build_shards(bm, plan, n_shards=2, cache=cache)
+            assert all(s.cached for s in shards.specs)
+            with ShardRouter(shards, executor="process",
+                             cache=cache) as router:
+                want = router.spmm(x)
+            assert np.array_equal(want, ref)
+            pool.restart(kill=True)
+            # The restarted generation (and a fresh set of shard workers)
+            # must reload the same artefacts and serve the same bits.
+            shards = build_shards(bm, plan, n_shards=2, cache=cache)
+            with ShardRouter(shards, executor="process",
+                             cache=cache) as router:
+                sources = [rep.worker.attach_source
+                           for group in router._replicas for rep in group]
+                assert sources == ["cache", "cache"]
+                assert np.array_equal(router.spmm(x), want)
